@@ -1,0 +1,472 @@
+(* The snowboard command-line interface.
+
+   Exposes the pipeline stages individually (fuzz, profile/identify,
+   campaign) plus per-issue reproduction, mirroring how the paper's
+   artifact is driven.  See README.md for a tour. *)
+
+open Cmdliner
+
+let pf = Format.printf
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (if verbose then Some Logs.Info else Some Logs.Warning)
+
+(* ---------------- shared options ---------------- *)
+
+let version_conv =
+  let parse = function
+    | "5.3.10" -> Ok Kernel.Config.v5_3_10
+    | "5.12-rc3" -> Ok Kernel.Config.v5_12_rc3
+    | "all-buggy" -> Ok Kernel.Config.all_buggy
+    | "all-fixed" -> Ok Kernel.Config.all_fixed
+    | s -> Error (`Msg (Printf.sprintf "unknown kernel version %S" s))
+  in
+  let print ppf _ = Format.pp_print_string ppf "<kernel version>" in
+  Arg.conv (parse, print)
+
+let version =
+  Arg.(
+    value
+    & opt version_conv Kernel.Config.v5_12_rc3
+    & info [ "kernel" ] ~docv:"VERSION"
+        ~doc:
+          "Guest kernel to test: 5.3.10, 5.12-rc3, all-buggy or all-fixed.")
+
+let seed =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+
+let fuzz_iters =
+  Arg.(
+    value & opt int 600
+    & info [ "fuzz-iters" ] ~docv:"N"
+        ~doc:"Sequential fuzzing iterations used to build the corpus.")
+
+let trials =
+  Arg.(
+    value & opt int 16
+    & info [ "trials" ] ~docv:"N"
+        ~doc:"Interleavings explored per concurrent test (max 64 in the paper).")
+
+let budget =
+  Arg.(
+    value & opt int 150
+    & info [ "budget" ] ~docv:"N" ~doc:"Concurrent tests per generation method.")
+
+(* ---------------- fuzz ---------------- *)
+
+let run_fuzz kernel seed iters verbose out =
+  let env = Sched.Exec.make_env kernel in
+  let corpus, steps = Harness.Pipeline.fuzz env ~seed ~iters in
+  pf "fuzzing: %d iterations -> corpus of %d tests, %d coverage edges, %d guest instructions@."
+    iters (Fuzzer.Corpus.size corpus) (Fuzzer.Corpus.total_edges corpus) steps;
+  if verbose then
+    List.iter
+      (fun (e : Fuzzer.Corpus.entry) ->
+        pf "  test %3d (+%d edges): %s@." e.Fuzzer.Corpus.id e.Fuzzer.Corpus.new_edges
+          (Fuzzer.Prog.to_string e.Fuzzer.Corpus.prog))
+      (Fuzzer.Corpus.to_list corpus);
+  match out with
+  | Some path ->
+      Fuzzer.Corpus.save corpus path;
+      pf "corpus written to %s@." path
+  | None -> ()
+
+let verbose =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every corpus entry.")
+
+let corpus_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~docv:"FILE" ~doc:"Write the corpus to a file.")
+
+let fuzz_cmd =
+  Cmd.v
+    (Cmd.info "fuzz" ~doc:"Generate a sequential test corpus (the Syzkaller role).")
+    Term.(const run_fuzz $ version $ seed $ fuzz_iters $ verbose $ corpus_out)
+
+(* ---------------- identify ---------------- *)
+
+let run_identify kernel seed iters =
+  let cfg =
+    { Harness.Pipeline.default with Harness.Pipeline.kernel; seed; fuzz_iters = iters }
+  in
+  let t = Harness.Pipeline.prepare cfg in
+  Harness.Report.pmc_summary t;
+  pf "@.clusters per strategy:@.";
+  List.iter
+    (fun s ->
+      let c = Core.Cluster.run s t.Harness.Pipeline.ident in
+      let sizes = List.sort compare (Core.Cluster.sizes c) in
+      let n = List.length sizes in
+      let median = if n = 0 then 0 else List.nth sizes (n / 2) in
+      pf "  %-16s %8d clusters (median size %d)@." (Core.Cluster.name s) n median)
+    Core.Cluster.all
+
+let identify_cmd =
+  Cmd.v
+    (Cmd.info "identify"
+       ~doc:"Fuzz, profile and identify PMCs; print clustering statistics.")
+    Term.(const run_identify $ version $ seed $ fuzz_iters)
+
+(* ---------------- campaign ---------------- *)
+
+let method_conv =
+  let parse s =
+    match Core.Cluster.of_name s with
+    | Some st -> Ok (Core.Select.Strategy st)
+    | None -> (
+        match s with
+        | "random-s-ins-pair" -> Ok (Core.Select.Random_order Core.Cluster.S_INS_PAIR)
+        | "random-pairing" -> Ok Core.Select.Random_pairing
+        | "duplicate-pairing" -> Ok Core.Select.Duplicate_pairing
+        | _ -> Error (`Msg (Printf.sprintf "unknown method %S" s)))
+  in
+  Arg.conv (parse, fun ppf _ -> Format.pp_print_string ppf "<method>")
+
+let methods =
+  Arg.(
+    value
+    & opt_all method_conv []
+    & info [ "method" ] ~docv:"METHOD"
+        ~doc:
+          "Generation method(s): a Table 1 strategy name (e.g. S-INS-PAIR), \
+           random-s-ins-pair, random-pairing or duplicate-pairing.  Default: \
+           all eleven of the paper.")
+
+let seed_corpus_flag =
+  Arg.(
+    value & flag
+    & info [ "seed-corpus" ]
+        ~doc:
+          "Seed the fuzzing corpus with the distilled per-issue scenario \
+           programs (Moonshine-style seed selection).")
+
+let domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Worker domains for concurrent-test execution (the paper's \
+           distributed-queue analogue); results are identical to a \
+           sequential run.")
+
+let log_verbose =
+  Arg.(value & flag & info [ "log" ] ~doc:"Log pipeline phases to stderr.")
+
+let corpus_in =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "corpus" ] ~docv:"FILE"
+        ~doc:"Seed the fuzzer with a corpus file written by 'fuzz --out'.")
+
+let run_campaign kernel seed iters trials budget methods seeded domains verbose
+    corpus_file =
+  setup_logs verbose;
+  let seeds =
+    (if seeded then Harness.Pipeline.scenario_seeds () else [])
+    @ (match corpus_file with
+      | Some path -> Fuzzer.Corpus.load_programs path
+      | None -> [])
+  in
+  let cfg =
+    {
+      Harness.Pipeline.kernel;
+      seed;
+      fuzz_iters = iters;
+      trials_per_test = trials;
+      seed_corpus = seeds;
+    }
+  in
+  let t = Harness.Pipeline.prepare cfg in
+  Harness.Report.pmc_summary t;
+  let methods =
+    match methods with [] -> Core.Select.all_paper_methods | l -> l
+  in
+  let run m =
+    if domains > 1 then Harness.Parallel.run_method ~domains t m ~budget
+    else Harness.Pipeline.run_method t m ~budget
+  in
+  let stats = List.map run methods in
+  Harness.Report.table3 stats;
+  Harness.Report.accuracy stats;
+  let union = Harness.Pipeline.issues_union stats in
+  Harness.Report.table2 ~found:[ ("campaign", union) ]
+
+let campaign_cmd =
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:"Run the full pipeline: fuzz, profile, identify, select, execute.")
+    Term.(
+      const run_campaign $ version $ seed $ fuzz_iters $ trials $ budget
+      $ methods $ seed_corpus_flag $ domains_arg $ log_verbose $ corpus_in)
+
+(* ---------------- repro ---------------- *)
+
+let issue_arg =
+  Arg.(
+    required
+    & pos 0 (some int) None
+    & info [] ~docv:"ISSUE" ~doc:"Issue id from Table 2 (1-17).")
+
+let sched_conv =
+  let parse = function
+    | "snowboard" -> Ok Sched.Explore.Snowboard
+    | "ski" -> Ok Sched.Explore.Ski
+    | "naive" -> Ok (Sched.Explore.Naive 4)
+    | "pct" -> Ok (Sched.Explore.Pct 3)
+    | s -> Error (`Msg (Printf.sprintf "unknown scheduler %S" s))
+  in
+  Arg.conv (parse, fun ppf _ -> Format.pp_print_string ppf "<sched>")
+
+let sched_arg =
+  Arg.(
+    value
+    & opt sched_conv Sched.Explore.Snowboard
+    & info [ "sched" ] ~docv:"S"
+        ~doc:"Scheduler: snowboard, ski, pct or naive.")
+
+let run_repro kernel seed issue sched =
+  match Harness.Scenarios.find issue with
+  | None ->
+      pf "no scenario for issue #%d@." issue;
+      exit 1
+  | Some s -> (
+      (match Detectors.Issues.find issue with
+      | Some m ->
+          pf "issue #%d: %s@.  version %s, %s, %s, %s@." m.Detectors.Issues.id
+            m.Detectors.Issues.summary m.Detectors.Issues.version
+            (Detectors.Issues.cls_name m.Detectors.Issues.cls)
+            (Detectors.Issues.status_name m.Detectors.Issues.status)
+            m.Detectors.Issues.subsystem
+      | None -> ());
+      pf "writer: %s@.reader: %s@."
+        (Fuzzer.Prog.to_string s.Harness.Scenarios.writer)
+        (Fuzzer.Prog.to_string s.Harness.Scenarios.reader);
+      let env = Sched.Exec.make_env kernel in
+      let a =
+        Harness.Scenarios.reproduce env s ~kind:sched ~trials:64 ~seed ()
+      in
+      match a.Harness.Scenarios.trials_to_expose with
+      | Some n ->
+          pf "reproduced: %d interleavings across %d hinted PMC(s)@." n
+            a.Harness.Scenarios.hints_tried
+      | None ->
+          pf "not reproduced (tried %d hinted PMCs); other issues seen: %s@."
+            a.Harness.Scenarios.hints_tried
+            (String.concat ", "
+               (List.map string_of_int a.Harness.Scenarios.other_issues));
+          exit 2)
+
+let repro_cmd =
+  Cmd.v
+    (Cmd.info "repro" ~doc:"Reproduce one Table 2 issue from its scenario.")
+    Term.(const run_repro $ version $ seed $ issue_arg $ sched_arg)
+
+(* ---------------- diagnose ---------------- *)
+
+(* Reproduce an issue while recording the scheduling decisions, then
+   print the developer-facing evidence: the replayable trace, the kernel
+   console, and a post-mortem diagnosis of each data race (section 4.4.1
+   and the section 6 reproduction discussion). *)
+let run_diagnose kernel seed issue =
+  match Harness.Scenarios.find issue with
+  | None ->
+      pf "no scenario for issue #%d@." issue;
+      exit 1
+  | Some s ->
+      let env = Sched.Exec.make_env kernel in
+      let ident, hints = Harness.Scenarios.identify env s in
+      let found = ref None in
+      List.iteri
+        (fun hi hint ->
+          for sd = 1 to 100 do
+            if !found = None then begin
+              let rng = Random.State.make [| seed + sd + (1000 * hi) |] in
+              let st = Sched.Policies.snowboard_state (Some hint) in
+              let rec_ = Sched.Replay.record (Sched.Policies.snowboard rng st) in
+              let race = Detectors.Race.create () in
+              let observer =
+                {
+                  Sched.Exec.on_access =
+                    (fun a ~ctx -> Detectors.Race.on_access race a ~ctx);
+                }
+              in
+              let res =
+                Sched.Exec.run_conc env ~writer:s.Harness.Scenarios.writer
+                  ~reader:s.Harness.Scenarios.reader
+                  ~policy:rec_.Sched.Replay.policy ~observer ()
+              in
+              let findings =
+                Detectors.Oracle.analyze ~console:res.Sched.Exec.cc_console
+                  ~races:(Detectors.Race.reports race)
+                  ~deadlocked:res.Sched.Exec.cc_deadlocked
+              in
+              if List.mem issue (Detectors.Oracle.issues findings) then
+                found :=
+                  Some (rec_.Sched.Replay.finish (), res, Detectors.Race.reports race)
+            end
+          done)
+        hints;
+      (match !found with
+      | None ->
+          pf "issue #%d not reproduced in the diagnosis budget@." issue;
+          exit 2
+      | Some (trace, res, races) ->
+          pf "issue #%d reproduced; deterministic replay trace (%d decisions, %d switches):@."
+            issue
+            (Sched.Replay.length trace)
+            (Sched.Replay.num_switches trace);
+          pf "  %s@." (Sched.Replay.to_string trace);
+          List.iter (fun l -> pf "console: %s@." l) res.Sched.Exec.cc_console;
+          List.iter
+            (fun r ->
+              let d =
+                Detectors.Postmortem.diagnose
+                  ~image:env.Sched.Exec.kern.Kernel.image ~ident r
+              in
+              pf "@.%a@." Detectors.Postmortem.pp d)
+            races)
+
+let diagnose_cmd =
+  Cmd.v
+    (Cmd.info "diagnose"
+       ~doc:
+         "Reproduce an issue, print a replayable interleaving trace and a \
+          post-mortem diagnosis of the detected races.")
+    Term.(const run_diagnose $ version $ seed $ issue_arg)
+
+(* ---------------- verify ---------------- *)
+
+let bound_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "bound" ] ~docv:"N"
+        ~doc:"Preemption bound for the exhaustive enumeration.")
+
+let run_verify kernel issue bound =
+  match Harness.Scenarios.find issue with
+  | None ->
+      pf "no scenario for issue #%d@." issue;
+      exit 1
+  | Some s ->
+      let env = Sched.Exec.make_env kernel in
+      let r =
+        Sched.Enumerate.run env ~writer:s.Harness.Scenarios.writer
+          ~reader:s.Harness.Scenarios.reader ~preemption_bound:bound
+          ~max_executions:200_000 ()
+      in
+      pf "CHESS-style enumeration, preemption bound %d: %d executions%s@." bound
+        r.Sched.Enumerate.executions
+        (if r.Sched.Enumerate.exhausted then " (space exhausted)"
+         else " (budget hit - NOT exhaustive)");
+      if r.Sched.Enumerate.issues = [] then begin
+        pf "no findings: the scenario is %s within the bound@."
+          (if r.Sched.Enumerate.exhausted then "provably silent" else "silent so far")
+      end
+      else begin
+        pf "findings: %s (first at execution %s)@."
+          (String.concat ", "
+             (List.map (fun i -> "#" ^ string_of_int i) r.Sched.Enumerate.issues))
+          (match r.Sched.Enumerate.first_bug_execution with
+          | Some n -> string_of_int n
+          | None -> "?");
+        exit 2
+      end
+
+let verify_cmd =
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Exhaustively enumerate all schedules of an issue's scenario within \
+          a preemption bound (CHESS-style); proves a patched kernel silent \
+          within the bound.")
+    Term.(const run_verify $ version $ issue_arg $ bound_arg)
+
+(* ---------------- three (section 6 extension) ---------------- *)
+
+let run_three kernel seed =
+  let env = Sched.Exec.make_env kernel in
+  let relay op = { Fuzzer.Prog.nr = Kernel.Abi.sys_relay; args = [ Fuzzer.Prog.Const op ] } in
+  let progs = [| [ relay 1 ]; [ relay 2 ]; [ relay 3 ] |] in
+  let profiles =
+    Array.to_list
+      (Array.mapi
+         (fun i p ->
+           Core.Profile.of_accesses ~test_id:i
+             (Sched.Exec.run_seq env ~tid:0 p).Sched.Exec.sq_accesses)
+         progs)
+  in
+  let ident = Core.Identify.run profiles in
+  let chains = Core.Chain.find ident in
+  pf "%d PMCs, %d chains across producer/forwarder/consumer@."
+    (Core.Identify.num_pmcs ident) (List.length chains);
+  let rng = Random.State.make [| seed |] in
+  let exemplars = Core.Chain.select rng chains in
+  let found = ref false in
+  List.iteri
+    (fun i chain ->
+      if (not !found) && i < 12 then begin
+        let res =
+          Sched.Explore3.run env ~progs ~chain:(Some chain) ~trials:64
+            ~seed:(seed + (37 * i)) ~stop_on_bug:true ()
+        in
+        match res.Sched.Explore3.first_bug with
+        | Some n ->
+            found := true;
+            pf "chain %a@." Core.Chain.pp chain;
+            pf "three-thread crash on trial %d:@." n;
+            List.iter
+              (fun f ->
+                pf "  %a@." Detectors.Oracle.pp_kind f.Detectors.Oracle.kind)
+              (Sched.Explore3.findings_found res)
+        | None -> ()
+      end)
+    exemplars;
+  if not !found then begin
+    pf "no crash found (is the kernel all-fixed?)@.";
+    exit 2
+  end
+
+let three_cmd =
+  Cmd.v
+    (Cmd.info "three"
+       ~doc:
+         "Run the section 6 extension: three testing threads driven by a \
+          PMC chain (the relay order violation).")
+    Term.(const run_three $ version $ seed)
+
+(* ---------------- issues ---------------- *)
+
+let run_issues () =
+  pf "%-4s %-62s %-14s %-5s %-9s@." "ID" "Summary" "Version" "Type" "Status";
+  List.iter
+    (fun (m : Detectors.Issues.meta) ->
+      pf "#%-3d %-62s %-14s %-5s %-9s@." m.Detectors.Issues.id
+        m.Detectors.Issues.summary m.Detectors.Issues.version
+        (Detectors.Issues.cls_name m.Detectors.Issues.cls)
+        (Detectors.Issues.status_name m.Detectors.Issues.status))
+    Detectors.Issues.all
+
+let issues_cmd =
+  Cmd.v (Cmd.info "issues" ~doc:"List the Table 2 ground-truth issues.")
+    Term.(const run_issues $ const ())
+
+(* ---------------- main ---------------- *)
+
+let () =
+  let info =
+    Cmd.info "snowboard" ~version:"1.0.0"
+      ~doc:
+        "Find kernel concurrency bugs through systematic inter-thread \
+         communication analysis (SOSP 2021 reproduction)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            fuzz_cmd; identify_cmd; campaign_cmd; repro_cmd; diagnose_cmd;
+            verify_cmd; three_cmd; issues_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/custom_module.ml: Core Detectors Format Kernel List Vmm

@@ -1,0 +1,1 @@
+examples/double_fetch.ml: Format Harness Kernel Sched

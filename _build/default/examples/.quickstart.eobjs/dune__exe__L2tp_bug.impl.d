@@ -1,0 +1,1 @@
+examples/l2tp_bug.ml: Array Core Detectors Format Fuzzer Harness Kernel List Sched String

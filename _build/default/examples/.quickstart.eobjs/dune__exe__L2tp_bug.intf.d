@@ -1,0 +1,1 @@
+examples/l2tp_bug.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Core Detectors Format Fuzzer Kernel List Printf Sched Vmm

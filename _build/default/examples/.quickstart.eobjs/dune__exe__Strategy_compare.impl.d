@@ -1,0 +1,1 @@
+examples/strategy_compare.ml: Core Format Harness Kernel List

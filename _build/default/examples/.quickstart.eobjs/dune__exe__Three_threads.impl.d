@@ -1,0 +1,1 @@
+examples/three_threads.ml: Array Core Detectors Format Fuzzer Kernel List Random Sched

@@ -1,0 +1,100 @@
+(* Bring your own kernel code: write a tiny "driver" with the assembler
+   DSL, plant a lost-update race in it, and let the Snowboard pipeline
+   find the race from the memory-access profiles alone - no knowledge of
+   the module is baked into the framework (the oracle reports it as an
+   untriaged race, the analogue of a fresh report awaiting inspection).
+
+   This is the path a downstream user takes to test new subsystems.
+
+   Run with: dune exec examples/custom_module.exe *)
+
+module Asm = Vmm.Asm
+module Vm = Vmm.Vm
+open Vmm.Isa
+open Kernel.Dsl
+
+let pf = Format.printf
+
+(* A one-function kernel: syscall 0 increments a global hit counter with
+   a plain read-modify-write (no lock - the bug). *)
+let build_image () =
+  let a = Asm.create () in
+  let _base = Kernel.Kbase.install a false in
+  let counter = Asm.global a "mydriver_hits" 8 in
+  func a "mydriver_poke" (fun () ->
+      li a r14 counter;
+      ld a r15 r14 0;
+      add a r15 r15 (Imm 1);
+      st a r14 0 (Reg r15);
+      mov a r0 r15;
+      ret a);
+  Asm.func a "kernel_init" (fun () -> ret a);
+  (Asm.link a, counter)
+
+let () =
+  let image, counter = build_image () in
+  let vm = Vm.create image in
+  let entry = Asm.entry image "mydriver_poke" in
+
+  (* run the "syscall" once on each vCPU sequentially and profile it *)
+  let run_seq tid =
+    Vm.start_call vm tid entry [];
+    let accs = ref [] in
+    let rec go n =
+      if n = 0 then failwith "budget";
+      let evs = Vm.step vm tid in
+      List.iter
+        (function Vm.Eaccess a -> accs := a :: !accs | _ -> ())
+        evs;
+      if List.exists (function Vm.Eret_to_user -> true | _ -> false) evs then ()
+      else go (n - 1)
+    in
+    go 1000;
+    List.rev !accs
+  in
+  let snap = Vm.snapshot vm in
+  let prof0 = Core.Profile.of_accesses ~test_id:0 (run_seq 0) in
+  Vm.restore vm snap;
+  let prof1 = Core.Profile.of_accesses ~test_id:1 (run_seq 0) in
+  let ident = Core.Identify.run [ prof0; prof1 ] in
+  pf "profiled the new driver: %d PMCs identified@." (Core.Identify.num_pmcs ident);
+  Core.Identify.iter (fun pmc _ -> pf "  %a@." Core.Pmc.pp pmc) ident;
+
+  (* now run the two invocations concurrently with full interleaving and
+     the race detector attached *)
+  Vm.restore vm snap;
+  let race = Detectors.Race.create () in
+  Vm.start_call vm 0 entry [];
+  Vm.start_call vm 1 entry [];
+  (* alternate instruction by instruction - the densest interleaving *)
+  let rec drive alive =
+    if alive = [] then ()
+    else
+      let alive' =
+        List.filter
+          (fun tid ->
+            if Vm.cpu_mode vm tid = Vm.Kernel then begin
+              let evs = Vm.step vm tid in
+              List.iter
+                (function
+                  | Vm.Eaccess a when Vmm.Trace.is_shared a ->
+                      Detectors.Race.on_access race a
+                        ~ctx:(Asm.func_name image a.Vmm.Trace.pc)
+                  | _ -> ())
+                evs;
+              Vm.cpu_mode vm tid = Vm.Kernel
+            end
+            else false)
+          alive
+      in
+      drive alive'
+  in
+  drive [ 0; 1 ];
+  pf "@.concurrent run: counter = %d (two pokes!)@." (Vm.peek vm 0 counter 8);
+  List.iter
+    (fun r ->
+      pf "race detected: %s / %s at mydriver_hits (0x%x)@." r.Detectors.Race.write_ctx
+        r.Detectors.Race.other_ctx r.Detectors.Race.addr)
+    (Detectors.Race.reports race);
+  pf "@.The counter shows the classic lost update, and the detector names the@.";
+  pf "racing function - for a module the framework has never seen before.@."

@@ -1,0 +1,1 @@
+lib/core/chain.ml: Format Hashtbl Identify List Pmc Random

@@ -1,0 +1,1 @@
+lib/core/cluster.ml: Hashtbl Identify List Pmc String

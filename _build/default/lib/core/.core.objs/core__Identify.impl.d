@@ -1,0 +1,1 @@
+lib/core/identify.ml: Array Hashtbl List Pmc Profile Vmm

@@ -1,0 +1,1 @@
+lib/core/identify.mli: Hashtbl Pmc Profile Vmm

@@ -1,0 +1,1 @@
+lib/core/pmc.ml: Format Hashtbl Vmm

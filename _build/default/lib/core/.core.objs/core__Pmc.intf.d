@@ -1,0 +1,1 @@
+lib/core/pmc.mli: Format Vmm

@@ -1,0 +1,1 @@
+lib/core/select.ml: Array Cluster Hashtbl Identify List Pmc Random

@@ -1,0 +1,97 @@
+(* PMC chains: the section 6 extension to higher-dimensional input
+   spaces.  A chain links two PMCs through a middle test: test A's write
+   flows into test B's read (first PMC), and test B also performs a write
+   that flows into test C's read (second PMC).  Executing A, B and C on
+   three vCPUs with both PMCs as scheduling hints explores the
+   three-thread communication A -> B -> C. *)
+
+type t = {
+  first : Pmc.t;  (* A writes, B reads *)
+  second : Pmc.t;  (* B writes, C reads *)
+  tests : int * int * int;  (* (A, B, C) *)
+}
+
+let max_chains = 10_000
+
+(* Enumerate chains from an identification result.  The join is on the
+   middle test: a pair (a, b) of [first] composes with a pair (b, c) of
+   [second].  Chains over the same location twice are skipped (those are
+   just the original PMC), as are chains whose three tests are not
+   distinct. *)
+let find (ident : Identify.t) =
+  (* index: test id -> pmcs in which it appears as reader / as writer *)
+  let as_reader : (int, (Pmc.t * int) list ref) Hashtbl.t = Hashtbl.create 256 in
+  let as_writer : (int, (Pmc.t * int) list ref) Hashtbl.t = Hashtbl.create 256 in
+  let add tbl key v =
+    match Hashtbl.find_opt tbl key with
+    | Some l -> l := v :: !l
+    | None -> Hashtbl.replace tbl key (ref [ v ])
+  in
+  Identify.iter
+    (fun pmc info ->
+      List.iter
+        (fun (w, r) ->
+          add as_reader r (pmc, w);
+          add as_writer w (pmc, r))
+        info.Identify.pairs)
+    ident;
+  let chains = ref [] in
+  let count = ref 0 in
+  (try
+     Hashtbl.iter
+       (fun middle reads ->
+         match Hashtbl.find_opt as_writer middle with
+         | None -> ()
+         | Some writes ->
+             List.iter
+               (fun (first, a) ->
+                 List.iter
+                   (fun (second, c) ->
+                     let overlap_same =
+                       first.Pmc.read.Pmc.addr = second.Pmc.write.Pmc.addr
+                       && first.Pmc.read.Pmc.size = second.Pmc.write.Pmc.size
+                       && first.Pmc.write.Pmc.addr = second.Pmc.read.Pmc.addr
+                     in
+                     if a <> middle && c <> middle && a <> c && not overlap_same
+                     then begin
+                       chains := { first; second; tests = (a, middle, c) } :: !chains;
+                       incr count;
+                       if !count >= max_chains then raise Exit
+                     end)
+                   !writes)
+               !reads)
+       as_reader
+   with Exit -> ());
+  !chains
+
+(* Cluster chains by the instruction quadruple (the S-INS-PAIR idea lifted
+   to chains) and return one exemplar per cluster, smallest cluster
+   first. *)
+let select rng chains =
+  let tbl = Hashtbl.create 256 in
+  List.iter
+    (fun ch ->
+      let key =
+        ( ch.first.Pmc.write.Pmc.ins,
+          ch.first.Pmc.read.Pmc.ins,
+          ch.second.Pmc.write.Pmc.ins,
+          ch.second.Pmc.read.Pmc.ins )
+      in
+      match Hashtbl.find_opt tbl key with
+      | Some l -> l := ch :: !l
+      | None -> Hashtbl.replace tbl key (ref [ ch ]))
+    chains;
+  let ordered =
+    Hashtbl.fold (fun key l acc -> (key, !l) :: acc) tbl []
+    |> List.sort (fun (k1, l1) (k2, l2) ->
+           let n = compare (List.length l1) (List.length l2) in
+           if n <> 0 then n else compare k1 k2)
+  in
+  List.map
+    (fun (_, l) -> List.nth l (Random.State.int rng (List.length l)))
+    ordered
+
+let pp ppf ch =
+  let a, b, c = ch.tests in
+  Format.fprintf ppf "chain t%d -[%a]-> t%d -[%a]-> t%d" a Pmc.pp ch.first b
+    Pmc.pp ch.second c

@@ -1,0 +1,21 @@
+(** PMC chains (paper section 6): two PMCs joined through a middle test,
+    modelling three-thread communication A -> B -> C. *)
+
+type t = {
+  first : Pmc.t;  (** A writes, B reads *)
+  second : Pmc.t;  (** B writes, C reads *)
+  tests : int * int * int;  (** (A, B, C) *)
+}
+
+val max_chains : int
+(** Enumeration cap; a safety valve against quadratic blowup. *)
+
+val find : Identify.t -> t list
+(** Chains with three distinct tests, joined on the middle test's stored
+    pairs; degenerate chains over the same channel are skipped. *)
+
+val select : Random.State.t -> t list -> t list
+(** One exemplar per instruction-quadruple cluster, smallest cluster
+    first - S-INS-PAIR lifted to chains. *)
+
+val pp : Format.formatter -> t -> unit

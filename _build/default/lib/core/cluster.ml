@@ -1,0 +1,104 @@
+(* PMC clustering strategies (Table 1 of the paper).
+
+   A strategy is a clustering key plus a filter, both over PMC features:
+   instruction addresses (ins), range start addresses (addr), range
+   lengths (byte), access values (value) and the df_leader flag.  PMCs
+   with the same key under a strategy fall in the same cluster; filtered
+   PMCs fall in no cluster.  S-INS is the paper's "strategy pair" - it
+   clusters writes by write instruction and reads by read instruction, so
+   one PMC can belong to two clusters. *)
+
+type strategy =
+  | S_FULL
+  | S_CH
+  | S_CH_NULL
+  | S_CH_UNALIGNED
+  | S_CH_DOUBLE
+  | S_INS
+  | S_INS_PAIR
+  | S_MEM
+
+let all = [ S_FULL; S_CH; S_CH_NULL; S_CH_UNALIGNED; S_CH_DOUBLE; S_INS; S_INS_PAIR; S_MEM ]
+
+let name = function
+  | S_FULL -> "S-FULL"
+  | S_CH -> "S-CH"
+  | S_CH_NULL -> "S-CH-NULL"
+  | S_CH_UNALIGNED -> "S-CH-UNALIGNED"
+  | S_CH_DOUBLE -> "S-CH-DOUBLE"
+  | S_INS -> "S-INS"
+  | S_INS_PAIR -> "S-INS-PAIR"
+  | S_MEM -> "S-MEM"
+
+let of_name s =
+  List.find_opt (fun st -> String.equal (name st) s) all
+
+(* A cluster key is a small integer vector; keys from different strategies
+   never mix because clustering tables are per-strategy. *)
+type key = int list
+
+let ch_key (p : Pmc.t) =
+  [
+    p.Pmc.write.Pmc.ins;
+    p.Pmc.write.Pmc.addr;
+    p.Pmc.write.Pmc.size;
+    p.Pmc.read.Pmc.ins;
+    p.Pmc.read.Pmc.addr;
+    p.Pmc.read.Pmc.size;
+  ]
+
+(* The clustering keys of a PMC under a strategy; [] means filtered out. *)
+let keys strategy (p : Pmc.t) : key list =
+  let w = p.Pmc.write and r = p.Pmc.read in
+  match strategy with
+  | S_FULL ->
+      [
+        [
+          w.Pmc.ins; w.Pmc.addr; w.Pmc.size; w.Pmc.value; r.Pmc.ins; r.Pmc.addr;
+          r.Pmc.size; r.Pmc.value;
+        ];
+      ]
+  | S_CH -> [ ch_key p ]
+  | S_CH_NULL -> if w.Pmc.value = 0 then [ ch_key p ] else []
+  | S_CH_UNALIGNED ->
+      if w.Pmc.addr <> r.Pmc.addr || w.Pmc.size <> r.Pmc.size then [ ch_key p ]
+      else []
+  | S_CH_DOUBLE -> if p.Pmc.df_leader then [ ch_key p ] else []
+  | S_INS -> [ [ 0; w.Pmc.ins ]; [ 1; r.Pmc.ins ] ]
+  | S_INS_PAIR -> [ [ w.Pmc.ins; r.Pmc.ins ] ]
+  | S_MEM -> [ [ w.Pmc.addr; w.Pmc.size; r.Pmc.addr; r.Pmc.size ] ]
+
+type clusters = {
+  strategy : strategy;
+  table : (key, Pmc.t list ref) Hashtbl.t;
+}
+
+(* Cluster all identified PMCs under a strategy. *)
+let run strategy (ident : Identify.t) =
+  let table = Hashtbl.create 1024 in
+  Identify.iter
+    (fun pmc _info ->
+      List.iter
+        (fun key ->
+          match Hashtbl.find_opt table key with
+          | Some l -> l := pmc :: !l
+          | None -> Hashtbl.replace table key (ref [ pmc ]))
+        (keys strategy pmc))
+    ident;
+  { strategy; table }
+
+let num_clusters c = Hashtbl.length c.table
+
+(* Clusters ordered from least to most populous (the paper's uncommon-
+   first order), deterministically tie-broken by key. *)
+let ordered c =
+  let l =
+    Hashtbl.fold (fun key pmcs acc -> (key, !pmcs) :: acc) c.table []
+  in
+  List.sort
+    (fun (k1, p1) (k2, p2) ->
+      let n = compare (List.length p1) (List.length p2) in
+      if n <> 0 then n else compare k1 k2)
+    l
+
+let sizes c = Hashtbl.fold (fun _ pmcs acc -> List.length !pmcs :: acc) c.table []

@@ -1,0 +1,41 @@
+(** PMC clustering strategies (Table 1 of the paper): a clustering key
+    plus a filter, both over PMC features.  PMCs with equal keys share a
+    cluster; filtered PMCs belong to no cluster.  S-INS is the paper's
+    strategy pair: it clusters writes by write instruction and reads by
+    read instruction, so a PMC can belong to two clusters. *)
+
+type strategy =
+  | S_FULL  (** all eight features; the no-clustering baseline *)
+  | S_CH  (** instructions + ranges, values ignored *)
+  | S_CH_NULL  (** S-CH restricted to zero-writing PMCs *)
+  | S_CH_UNALIGNED  (** S-CH restricted to mismatched ranges *)
+  | S_CH_DOUBLE  (** S-CH restricted to double-fetch leaders *)
+  | S_INS  (** write instruction and, separately, read instruction *)
+  | S_INS_PAIR  (** (write instruction, read instruction) *)
+  | S_MEM  (** the two memory ranges *)
+
+val all : strategy list
+
+val name : strategy -> string
+
+val of_name : string -> strategy option
+
+type key = int list
+
+val keys : strategy -> Pmc.t -> key list
+(** Cluster keys of a PMC under a strategy; [] means filtered out. *)
+
+type clusters = {
+  strategy : strategy;
+  table : (key, Pmc.t list ref) Hashtbl.t;
+}
+
+val run : strategy -> Identify.t -> clusters
+
+val num_clusters : clusters -> int
+
+val ordered : clusters -> (key * Pmc.t list) list
+(** Clusters from least to most populous (the paper's uncommon-first
+    order), deterministically tie-broken by key. *)
+
+val sizes : clusters -> int list

@@ -1,0 +1,64 @@
+(* Per-test memory-access profiles (paper section 4.1).
+
+   A profile is the shared subset of a sequential test's kernel memory
+   accesses, in execution order, with the double-fetch leader feature
+   computed: a read is a df_leader when a later read by a *different*
+   instruction covers the same range, returns the same value, and no write
+   to that range intervenes (section 4.3, S-CH-DOUBLE). *)
+
+module Trace = Vmm.Trace
+
+type entry = { access : Trace.access; df_leader : bool }
+
+type t = { test_id : int; entries : entry array }
+
+(* Compute df_leader flags.  Pending reads are tracked per exact
+   (addr, size) range; overlapping-but-unequal ranges are approximated by
+   clearing pending reads on any overlapping write. *)
+let compute_df (accesses : Trace.access list) =
+  let pending : (int * int, int * int) Hashtbl.t = Hashtbl.create 64 in
+  (* (addr,size) -> (index, ins) of the latest unpaired read *)
+  let arr = Array.of_list accesses in
+  let df = Array.make (Array.length arr) false in
+  Array.iteri
+    (fun i (a : Trace.access) ->
+      let key = (a.Trace.addr, a.Trace.size) in
+      match a.Trace.kind with
+      | Trace.Write ->
+          (* a write invalidates pending reads it overlaps *)
+          Hashtbl.iter
+            (fun (addr, size) _ ->
+              if addr < a.Trace.addr + a.Trace.size && a.Trace.addr < addr + size
+              then Hashtbl.remove pending (addr, size))
+            (Hashtbl.copy pending)
+      | Trace.Read -> (
+          match Hashtbl.find_opt pending key with
+          | Some (j, ins) when ins <> a.Trace.pc ->
+              let prev = arr.(j) in
+              if prev.Trace.value = a.Trace.value then df.(j) <- true;
+              Hashtbl.replace pending key (i, a.Trace.pc)
+          | _ -> Hashtbl.replace pending key (i, a.Trace.pc)))
+    arr;
+  (arr, df)
+
+(* Build a profile from a raw trace: keep only shared accesses (kernel
+   space, non-stack) and annotate double-fetch leaders. *)
+let of_accesses ~test_id (accesses : Trace.access list) =
+  let shared = List.filter Trace.is_shared accesses in
+  let arr, df = compute_df shared in
+  {
+    test_id;
+    entries = Array.mapi (fun i a -> { access = a; df_leader = df.(i) }) arr;
+  }
+
+let length t = Array.length t.entries
+
+let num_writes t =
+  Array.fold_left
+    (fun n e -> if e.access.Trace.kind = Trace.Write then n + 1 else n)
+    0 t.entries
+
+let num_reads t = length t - num_writes t
+
+let num_df_leaders t =
+  Array.fold_left (fun n e -> if e.df_leader then n + 1 else n) 0 t.entries

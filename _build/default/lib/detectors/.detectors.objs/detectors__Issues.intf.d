@@ -1,0 +1,1 @@
+lib/detectors/issues.mli:

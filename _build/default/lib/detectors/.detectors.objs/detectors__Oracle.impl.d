@@ -1,0 +1,1 @@
+lib/detectors/oracle.ml: Format List Race String

@@ -1,0 +1,1 @@
+lib/detectors/postmortem.ml: Core Format Option Oracle Printf Race Vmm

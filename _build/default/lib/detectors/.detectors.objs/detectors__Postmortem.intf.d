@@ -1,0 +1,1 @@
+lib/detectors/postmortem.mli: Core Format Race Vmm

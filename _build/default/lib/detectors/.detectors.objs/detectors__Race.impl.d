@@ -1,0 +1,1 @@
+lib/detectors/race.ml: Array Hashtbl List Vmm

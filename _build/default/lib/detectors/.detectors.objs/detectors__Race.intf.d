@@ -1,0 +1,1 @@
+lib/detectors/race.mli: Vmm

@@ -1,0 +1,101 @@
+(* Ground truth for the 17 issues of Table 2.
+
+   The detectors report raw events (crashes, console errors, data races);
+   [Oracle] maps them to these issue ids.  The metadata here - kernel
+   version, subsystem, bug class, status, input shape - reproduces the
+   columns of Table 2 for the benchmark reports. *)
+
+type cls = DR | AV | OV
+
+let cls_name = function DR -> "DR" | AV -> "AV" | OV -> "OV"
+
+type status = Fixed | Harmful | Reported | Benign
+
+let status_name = function
+  | Fixed -> "Fixed"
+  | Harmful -> "Harmful"
+  | Reported -> "Reported"
+  | Benign -> "Benign"
+
+type input = Distinct | Duplicate
+
+let input_name = function Distinct -> "Distinct" | Duplicate -> "Duplicate"
+
+type meta = {
+  id : int;
+  summary : string;
+  version : string;
+  subsystem : string;
+  cls : cls;
+  status : status;
+  input : input;
+}
+
+let all =
+  [
+    { id = 1; summary = "BUG: unable to handle page fault for address";
+      version = "5.3.10"; subsystem = "include/linux/"; cls = DR;
+      status = Fixed; input = Distinct };
+    { id = 2; summary = "EXT4-fs error: swap_inode_boot_loader: ... checksum invalid";
+      version = "5.3.10/5.12-rc3"; subsystem = "fs/ext4/"; cls = AV;
+      status = Harmful; input = Duplicate };
+    { id = 3; summary = "EXT4-fs error: ext4_ext_check_inode: ... invalid magic";
+      version = "5.3.10"; subsystem = "fs/ext4/"; cls = AV;
+      status = Reported; input = Duplicate };
+    { id = 4; summary = "Blk_update_request: IO error"; version = "5.3.10";
+      subsystem = "fs/"; cls = AV; status = Harmful; input = Distinct };
+    { id = 5; summary = "Data race: blkdev_ioctl() / generic_fadvise()";
+      version = "5.3.10"; subsystem = "block/, mm/"; cls = DR;
+      status = Harmful; input = Distinct };
+    { id = 6; summary = "Data race: do_mpage_readpage() / set_blocksize()";
+      version = "5.3.10"; subsystem = "fs/"; cls = DR; status = Reported;
+      input = Distinct };
+    { id = 7; summary = "Data race: rawv6_send_hdrinc() / __dev_set_mtu()";
+      version = "5.3.10"; subsystem = "net/"; cls = DR; status = Harmful;
+      input = Distinct };
+    { id = 8; summary = "Data race: packet_getname() / e1000_set_mac()";
+      version = "5.3.10"; subsystem = "net/"; cls = DR; status = Harmful;
+      input = Distinct };
+    { id = 9; summary = "Data race: dev_ifsioc_locked() / eth_commit_mac_addr_change()";
+      version = "5.3.10"; subsystem = "net/"; cls = DR; status = Fixed;
+      input = Distinct };
+    { id = 10; summary = "Data race: fib6_get_cookie_safe() / fib6_clean_node()";
+      version = "5.3.10"; subsystem = "net/"; cls = DR; status = Benign;
+      input = Distinct };
+    { id = 11; summary = "BUG: Kernel NULL pointer dereference";
+      version = "5.12-rc3"; subsystem = "fs/configfs"; cls = DR;
+      status = Fixed; input = Distinct };
+    { id = 12; summary = "BUG: kernel NULL pointer dereference";
+      version = "5.12-rc3"; subsystem = "net/l2tp"; cls = OV; status = Fixed;
+      input = Distinct };
+    { id = 13; summary = "Data race: cache_alloc_refill() / free_block()";
+      version = "5.12-rc3"; subsystem = "mm/"; cls = DR; status = Benign;
+      input = Duplicate };
+    { id = 14; summary = "Data race: tty_port_open() / uart_do_autoconfig()";
+      version = "5.12-rc3"; subsystem = "driver/tty/"; cls = DR;
+      status = Harmful; input = Distinct };
+    { id = 15; summary = "Data race: snd_ctl_elem_add()"; version = "5.12-rc3";
+      subsystem = "sound/core"; cls = DR; status = Fixed; input = Distinct };
+    { id = 16; summary = "Data race: tcp_set_default_congestion_control / tcp_set_congestion_control()";
+      version = "5.12-rc3"; subsystem = "net/ipv4"; cls = DR; status = Benign;
+      input = Distinct };
+    { id = 17; summary = "Data race: fanout_demux_rollover() / __fanout_unlink()";
+      version = "5.12-rc3"; subsystem = "net/packet"; cls = DR; status = Fixed;
+      input = Distinct };
+  ]
+
+(* Extension issues beyond Table 2 (kept separate so the Table 2
+   inventory stays exactly the paper's 17 rows). *)
+let extensions =
+  [
+    { id = 18; summary = "BUG: kernel NULL pointer dereference (relay, 3 threads)";
+      version = "extension"; subsystem = "relay/"; cls = OV; status = Harmful;
+      input = Distinct };
+  ]
+
+let find id = List.find_opt (fun m -> m.id = id) (all @ extensions)
+
+let harmful id =
+  match find id with
+  | Some m -> ( match m.status with Benign -> false | _ -> true)
+  | None -> false

@@ -1,0 +1,36 @@
+(** Ground truth for the 17 issues of Table 2: metadata used by the
+    oracle's triage and by the benchmark reports. *)
+
+type cls = DR | AV | OV
+
+val cls_name : cls -> string
+
+type status = Fixed | Harmful | Reported | Benign
+
+val status_name : status -> string
+
+type input = Distinct | Duplicate
+
+val input_name : input -> string
+
+type meta = {
+  id : int;
+  summary : string;
+  version : string;  (** kernel version(s) the paper found it in *)
+  subsystem : string;
+  cls : cls;
+  status : status;
+  input : input;  (** distinct or duplicate sequential tests *)
+}
+
+val all : meta list
+(** The 17 rows of Table 2, in order. *)
+
+val extensions : meta list
+(** Issues beyond Table 2 (the section 6 three-thread workload). *)
+
+val find : int -> meta option
+(** Looks up Table 2 rows and extensions. *)
+
+val harmful : int -> bool
+(** Everything except the benign data races (#10, #13, #16). *)

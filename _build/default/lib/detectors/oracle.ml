@@ -1,0 +1,94 @@
+(* The bug oracle: maps raw detector events (console lines, crashes, race
+   reports) to the ground-truth issues of Table 2.  This component plays
+   the role of the paper's manual triage (section 5.2): races and crashes
+   that do not correspond to a known issue are kept as [Unknown] findings,
+   the analogue of reports that inspection would dismiss. *)
+
+type kind =
+  | Crash of string  (* console BUG line *)
+  | Console_error of string  (* filesystem/block error line *)
+  | Data_race of Race.report
+  | Deadlock
+
+type finding = { issue : int option; kind : kind }
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* Map a kernel console line to an issue. *)
+let issue_of_console line =
+  if contains ~needle:"checksum invalid" line then Some 2
+  else if contains ~needle:"ext4_ext_check_inode" line then Some 3
+  else if contains ~needle:"blk_update_request" line then Some 4
+  else if contains ~needle:"BUG:" line then
+    if contains ~needle:"sys_msgget" line then Some 1
+    else if contains ~needle:"configfs_lookup" line then Some 11
+    else if contains ~needle:"relay_consume" line then Some 18
+      (* the three-thread extension's order violation *)
+    else if contains ~needle:"spin_lock" line then Some 12
+      (* the l2tp crash faults inside bh_lock_sock's spin_lock on a NULL
+         socket; no other code path locks a NULL pointer *)
+    else None
+  else None
+
+let is_bug_line line =
+  contains ~needle:"BUG:" line
+  || contains ~needle:"EXT4-fs error" line
+  || contains ~needle:"blk_update_request" line
+
+(* Map a data race to an issue by the attributed function pair. *)
+let issue_of_race (r : Race.report) =
+  let a = r.Race.write_ctx and b = r.Race.other_ctx in
+  let pair x y = (a = x && b = y) || (a = y && b = x) in
+  let either x = a = x || b = x in
+  let both_in l = List.mem a l && List.mem b l in
+  if both_in [ "cache_alloc_refill"; "free_block" ] then Some 13
+  else if pair "dev_ifsioc_locked" "eth_commit_mac_addr_change" then Some 9
+  else if either "packet_getname" then Some 8
+  else if pair "e1000_set_mac" "dev_ifsioc_locked" then Some 8
+  else if pair "e1000_set_mac" "eth_commit_mac_addr_change" then Some 8
+  else if pair "rawv6_send_hdrinc" "__dev_set_mtu" then Some 7
+  else if pair "fib6_get_cookie_safe" "fib6_clean_node" then Some 10
+  else if pair "generic_fadvise" "blkdev_ioctl_raset" then Some 5
+  else if pair "do_mpage_readpage" "set_blocksize" then Some 6
+  else if pair "configfs_lookup" "configfs_rmdir" then Some 11
+  else if both_in [ "sys_msgget"; "sys_msgctl" ] then Some 1
+  else if pair "tty_port_open" "uart_do_autoconfig" then Some 14
+  else if pair "snd_ctl_elem_add" "snd_ctl_elem_add" then Some 15
+  else if pair "tcp_set_congestion_control" "tcp_set_default_congestion_control"
+  then Some 16
+  else if
+    both_in [ "fanout_demux_rollover"; "__fanout_unlink"; "fanout_add" ]
+    && either "fanout_demux_rollover"
+  then Some 17
+  else None
+
+(* Analyse one trial's evidence. *)
+let analyze ~console ~races ~deadlocked =
+  let findings = ref [] in
+  List.iter
+    (fun line ->
+      if is_bug_line line then
+        let kind =
+          if contains ~needle:"BUG:" line then Crash line else Console_error line
+        in
+        findings := { issue = issue_of_console line; kind } :: !findings)
+    console;
+  List.iter
+    (fun r -> findings := { issue = issue_of_race r; kind = Data_race r } :: !findings)
+    races;
+  if deadlocked then findings := { issue = None; kind = Deadlock } :: !findings;
+  List.rev !findings
+
+let issues findings =
+  List.filter_map (fun f -> f.issue) findings |> List.sort_uniq compare
+
+let pp_kind ppf = function
+  | Crash l -> Format.fprintf ppf "crash: %s" l
+  | Console_error l -> Format.fprintf ppf "console: %s" l
+  | Data_race r ->
+      Format.fprintf ppf "race: %s / %s @@ 0x%x" r.Race.write_ctx r.Race.other_ctx
+        r.Race.addr
+  | Deadlock -> Format.pp_print_string ppf "deadlock"

@@ -1,0 +1,34 @@
+(** The bug oracle: maps raw detector events (console lines, crashes,
+    race reports) to Table 2 issues.  Plays the role of the paper's
+    manual triage; events that match no known issue are kept as
+    untriaged findings ([issue = None]). *)
+
+type kind =
+  | Crash of string  (** console BUG line *)
+  | Console_error of string  (** filesystem/block error line *)
+  | Data_race of Race.report
+  | Deadlock
+
+type finding = { issue : int option; kind : kind }
+
+val issue_of_console : string -> int option
+(** Map a kernel console line to an issue id. *)
+
+val is_bug_line : string -> bool
+(** Does the console line indicate a failure at all? *)
+
+val issue_of_race : Race.report -> int option
+(** Map a data race to an issue by its attributed function pair
+    (symmetric in the two functions). *)
+
+val analyze :
+  console:string list ->
+  races:Race.report list ->
+  deadlocked:bool ->
+  finding list
+(** Triage one trial's evidence. *)
+
+val issues : finding list -> int list
+(** Distinct mapped issue ids, sorted. *)
+
+val pp_kind : Format.formatter -> kind -> unit

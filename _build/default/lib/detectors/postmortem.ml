@@ -1,0 +1,57 @@
+(* Post-mortem analysis (paper section 4.4.1: "to improve the diagnosis,
+   we built post-mortem analysis tools that verify that a data race is
+   caused by an identified PMC and its kernel source code information").
+
+   Given a race report, the kernel image and the identification result,
+   the diagnosis names the racing kernel functions and objects and checks
+   whether the race corresponds to a predicted PMC - the hard evidence a
+   developer wants attached to a report. *)
+
+type diagnosis = {
+  race : Race.report;
+  write_fn : string;  (* function containing the racing write *)
+  other_fn : string;
+  region : string option;  (* named kernel object, if a global *)
+  predicted : bool;  (* a PMC predicted this instruction pair *)
+  issue : int option;  (* ground-truth triage, if any *)
+}
+
+(* Does some identified PMC connect exactly this instruction pair (in
+   either direction, since a report's "other" side may be the PMC's
+   write)? *)
+let pmc_predicts (ident : Core.Identify.t) (r : Race.report) =
+  let hit = ref false in
+  Core.Identify.iter
+    (fun pmc _ ->
+      if
+        (pmc.Core.Pmc.write.Core.Pmc.ins = r.Race.write_pc
+        && pmc.Core.Pmc.read.Core.Pmc.ins = r.Race.other_pc)
+        || (pmc.Core.Pmc.write.Core.Pmc.ins = r.Race.other_pc
+           && pmc.Core.Pmc.read.Core.Pmc.ins = r.Race.write_pc)
+      then hit := true)
+    ident;
+  !hit
+
+let diagnose ~(image : Vmm.Asm.image) ?(ident : Core.Identify.t option)
+    (r : Race.report) =
+  {
+    race = r;
+    write_fn = Vmm.Asm.func_name image r.Race.write_pc;
+    other_fn = Vmm.Asm.func_name image r.Race.other_pc;
+    region = Option.map (fun reg -> reg.Vmm.Asm.name) (Vmm.Asm.region_of_addr image r.Race.addr);
+    predicted = (match ident with Some i -> pmc_predicts i r | None -> false);
+    issue = Oracle.issue_of_race r;
+  }
+
+let pp ppf d =
+  Format.fprintf ppf
+    "data race on %s (0x%x):@,  write  %s (pc %d, attributed %s)@,  %s %s (pc %d, attributed %s)@,  predicted by a PMC: %b@,  %s"
+    (match d.region with Some n -> n | None -> "a heap object")
+    d.race.Race.addr d.write_fn d.race.Race.write_pc d.race.Race.write_ctx
+    (match d.race.Race.other_kind with
+    | Vmm.Trace.Read -> "read  "
+    | Vmm.Trace.Write -> "write ")
+    d.other_fn d.race.Race.other_pc d.race.Race.other_ctx d.predicted
+    (match d.issue with
+    | Some id -> Printf.sprintf "triaged as Table 2 issue #%d" id
+    | None -> "untriaged (new report)")

@@ -1,0 +1,19 @@
+(** Post-mortem race analysis (paper section 4.4.1): name the racing
+    kernel functions and objects, and verify whether the race corresponds
+    to an identified PMC. *)
+
+type diagnosis = {
+  race : Race.report;
+  write_fn : string;  (** function containing the racing write *)
+  other_fn : string;
+  region : string option;  (** named kernel object, if a global *)
+  predicted : bool;  (** a PMC predicted this instruction pair *)
+  issue : int option;  (** ground-truth triage, if any *)
+}
+
+val pmc_predicts : Core.Identify.t -> Race.report -> bool
+
+val diagnose :
+  image:Vmm.Asm.image -> ?ident:Core.Identify.t -> Race.report -> diagnosis
+
+val pp : Format.formatter -> diagnosis -> unit

@@ -1,0 +1,33 @@
+(** Happens-before data-race detection over the serialized event stream
+    (the role of the paper's stock detectors, DataCollider / SKI's
+    runtime detector).
+
+    Vector clocks specialised to two threads; synchronisation edges come
+    from marked (atomic) store -> marked load pairs on the same cell,
+    which covers spinlocks (CAS acquire / marked release store), RCU
+    publish/subscribe and READ_ONCE/WRITE_ONCE pairs.  Conflicting
+    accesses (overlap, at least one write) that are unordered and not
+    both marked are data races - the kernel's KCSAN convention. *)
+
+type report = {
+  addr : int;  (** first racing byte *)
+  write_pc : int;
+  other_pc : int;
+  other_kind : Vmm.Trace.kind;  (** the second access's kind *)
+  write_ctx : string;  (** attributed kernel function of the write *)
+  other_ctx : string;
+}
+
+type t
+
+val create : ?nthreads:int -> unit -> t
+(** Fresh detector state; one per concurrent trial. *)
+
+val on_access : t -> Vmm.Trace.access -> ctx:string -> unit
+(** Feed one access with its attributed function.  Non-shared accesses
+    (stack, user space) are ignored. *)
+
+val reports : t -> report list
+(** Reports in detection order, deduplicated by (write pc, other pc). *)
+
+val num_reports : t -> int

@@ -1,0 +1,1 @@
+lib/fuzzer/corpus.ml: Fun Hashtbl List Prog String

@@ -1,0 +1,1 @@
+lib/fuzzer/gen.ml: Char Fun Kernel List Prog Random String

@@ -1,0 +1,1 @@
+lib/fuzzer/gen.mli: Prog Random

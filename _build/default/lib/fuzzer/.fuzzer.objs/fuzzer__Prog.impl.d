@@ -1,0 +1,1 @@
+lib/fuzzer/prog.ml: Char Format Hashtbl Kernel List Option Printf String Vmm

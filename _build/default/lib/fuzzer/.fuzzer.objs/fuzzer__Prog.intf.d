@@ -1,0 +1,1 @@
+lib/fuzzer/prog.mli: Format

@@ -1,0 +1,77 @@
+(* Coverage-guided corpus selection.
+
+   Snowboard does not use every test the fuzzer produces: it keeps the
+   subset that contributes new edge coverage, "high coverage but low
+   overlap of exercised behaviors" (paper section 4.1). *)
+
+type entry = { id : int; prog : Prog.t; new_edges : int }
+
+type t = {
+  mutable entries : entry list;  (* reversed *)
+  mutable count : int;
+  seen_progs : (int, unit) Hashtbl.t;
+  seen_edges : (int * int, unit) Hashtbl.t;
+}
+
+let create () =
+  {
+    entries = [];
+    count = 0;
+    seen_progs = Hashtbl.create 256;
+    seen_edges = Hashtbl.create 4096;
+  }
+
+(* Offer a program together with the control-flow edges its sequential
+   execution covered.  Returns the corpus id if kept. *)
+let consider t prog ~edges =
+  let h = Prog.hash prog in
+  if Hashtbl.mem t.seen_progs h then None
+  else begin
+    Hashtbl.replace t.seen_progs h ();
+    let fresh = List.filter (fun e -> not (Hashtbl.mem t.seen_edges e)) edges in
+    if fresh = [] then None
+    else begin
+      List.iter (fun e -> Hashtbl.replace t.seen_edges e ()) fresh;
+      let id = t.count in
+      t.count <- t.count + 1;
+      t.entries <- { id; prog; new_edges = List.length fresh } :: t.entries;
+      Some id
+    end
+  end
+
+let size t = t.count
+
+let total_edges t = Hashtbl.length t.seen_edges
+
+let to_list t = List.rev t.entries
+
+let find t id = List.find_opt (fun e -> e.id = id) t.entries
+
+(* One program per line; the coverage metadata is not stored - a loaded
+   corpus is re-profiled from the snapshot anyway. *)
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun e -> output_string oc (Prog.to_line e.prog ^ "\n"))
+        (to_list t))
+
+let load_programs path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line ->
+            let acc =
+              if String.trim line = "" then acc
+              else
+                match Prog.of_line line with Some p -> p :: acc | None -> acc
+            in
+            go acc
+        | exception End_of_file -> List.rev acc
+      in
+      go [])

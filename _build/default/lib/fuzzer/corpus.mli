@@ -1,0 +1,30 @@
+(** Coverage-guided corpus selection: keep the subset of generated tests
+    that contributes new control-flow edges - "high coverage but low
+    overlap of exercised behaviors" (paper section 4.1). *)
+
+type entry = { id : int; prog : Prog.t; new_edges : int }
+
+type t
+
+val create : unit -> t
+
+val consider : t -> Prog.t -> edges:(int * int) list -> int option
+(** Offer a program with the edges its sequential run covered; returns
+    its corpus id if it was kept (structurally new and coverage-novel). *)
+
+val size : t -> int
+
+val total_edges : t -> int
+
+val to_list : t -> entry list
+(** Entries in insertion (id) order. *)
+
+val find : t -> int -> entry option
+
+val save : t -> string -> unit
+(** Write the corpus programs to a file, one per line. *)
+
+val load_programs : string -> Prog.t list
+(** Parse a corpus file back into programs (malformed lines are skipped);
+    feed them to [Pipeline.fuzz]'s [seeds] to rebuild a corpus with
+    coverage metadata. *)

@@ -1,0 +1,1 @@
+lib/harness/feedback.ml: Array Core Detectors Fuzzer Hashtbl List Pipeline Queue Random Sched Vmm

@@ -1,0 +1,1 @@
+lib/harness/feedback.mli: Pipeline

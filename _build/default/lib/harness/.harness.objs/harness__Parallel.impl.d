@@ -1,0 +1,1 @@
+lib/harness/parallel.ml: Array Core Detectors Domain Fuzzer Hashtbl List Pipeline Random Sched

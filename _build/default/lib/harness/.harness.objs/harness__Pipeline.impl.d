@@ -1,0 +1,1 @@
+lib/harness/pipeline.ml: Core Detectors Fuzzer Hashtbl Kernel List Logs Printf Random Scenarios Sched String

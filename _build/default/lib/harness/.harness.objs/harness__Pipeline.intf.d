@@ -1,0 +1,1 @@
+lib/harness/pipeline.mli: Core Fuzzer Kernel Sched

@@ -1,0 +1,1 @@
+lib/harness/report.ml: Core Detectors Format Fuzzer List Pipeline Printf String

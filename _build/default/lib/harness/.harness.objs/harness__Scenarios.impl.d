@@ -1,0 +1,1 @@
+lib/harness/scenarios.ml: Core Fuzzer Kernel List Sched

@@ -1,0 +1,151 @@
+(* Parallel campaign execution across OCaml domains.
+
+   The paper distributed concurrent tests over a cloud platform through a
+   lightweight work queue (section 4.4.1, "we integrate the execution
+   platform with a lightweight distributed queue").  This is the
+   single-machine analogue: the concurrent-test plan is sharded
+   round-robin over worker domains, each with its own guest VM (built
+   from the same kernel configuration, so all snapshots are identical),
+   and the per-method statistics are merged deterministically.
+
+   Per-test seeds derive from the test's global plan index, so a parallel
+   run explores exactly the same interleavings as the sequential one and
+   finds exactly the same issues. *)
+
+module Exec = Sched.Exec
+
+type shard_result = {
+  sr_executed : int;
+  sr_hinted : int;
+  sr_hint_exercised : int;
+  sr_pmc_observed : int;
+  sr_issues : (int * int) list;  (* issue id, global test index *)
+  sr_unknown : int;
+  sr_trials : int;
+  sr_steps : int;
+}
+
+let run_shard ~(cfg : Pipeline.config) ~(ident : Core.Identify.t)
+    ~(prog_of_id : int -> Fuzzer.Prog.t) ~kind
+    (tests : (int * Core.Select.conc_test) list) =
+  (* each worker gets a private guest VM *)
+  let env = Exec.make_env cfg.Pipeline.kernel in
+  let executed = ref 0
+  and hinted = ref 0
+  and hint_exercised = ref 0
+  and pmc_observed = ref 0
+  and unknown = ref 0
+  and trials = ref 0
+  and steps = ref 0 in
+  let issues : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (global_idx, (ct : Core.Select.conc_test)) ->
+      incr executed;
+      if ct.Core.Select.hint <> None then incr hinted;
+      let kind =
+        match ct.Core.Select.hint with
+        | Some _ -> kind
+        | None -> Sched.Explore.Naive 8
+      in
+      let res =
+        Sched.Explore.run env ~ident:(Some ident)
+          ~writer:(prog_of_id ct.Core.Select.writer)
+          ~reader:(prog_of_id ct.Core.Select.reader)
+          ~hint:ct.Core.Select.hint ~kind ~trials:cfg.Pipeline.trials_per_test
+          ~seed:(cfg.Pipeline.seed + (1000 * (global_idx + 1)))
+          ~stop_on_bug:false ()
+      in
+      if res.Sched.Explore.any_exercised then incr hint_exercised;
+      if res.Sched.Explore.any_pmc_observed then incr pmc_observed;
+      trials := !trials + List.length res.Sched.Explore.trials;
+      steps := !steps + res.Sched.Explore.total_steps;
+      List.iter
+        (fun id ->
+          match Hashtbl.find_opt issues id with
+          | Some first when first <= global_idx -> ()
+          | _ -> Hashtbl.replace issues id global_idx)
+        (Sched.Explore.issues_found res);
+      List.iter
+        (fun (f : Detectors.Oracle.finding) ->
+          if f.Detectors.Oracle.issue = None then incr unknown)
+        (Sched.Explore.findings_found res))
+    tests;
+  {
+    sr_executed = !executed;
+    sr_hinted = !hinted;
+    sr_hint_exercised = !hint_exercised;
+    sr_pmc_observed = !pmc_observed;
+    sr_issues = Hashtbl.fold (fun id first acc -> (id, first) :: acc) issues [];
+    sr_unknown = !unknown;
+    sr_trials = !trials;
+    sr_steps = !steps;
+  }
+
+(* Split [l] round-robin into [n] shards, keeping global indices. *)
+let shard n l =
+  let shards = Array.make n [] in
+  List.iteri (fun i x -> shards.(i mod n) <- (i, x) :: shards.(i mod n)) l;
+  Array.map List.rev shards
+
+let default_domains () = max 1 (min 4 (Domain.recommended_domain_count () - 1))
+
+(* Parallel analogue of [Pipeline.run_method].  The plan is built in the
+   calling domain; execution fans out over [domains] workers. *)
+let run_method ?(kind = Sched.Explore.Snowboard) ?domains (t : Pipeline.t)
+    method_ ~budget =
+  let domains = match domains with Some d -> max 1 d | None -> default_domains () in
+  let rng = Random.State.make [| t.Pipeline.cfg.Pipeline.seed + 7919 |] in
+  let corpus_ids =
+    List.map
+      (fun (e : Fuzzer.Corpus.entry) -> e.Fuzzer.Corpus.id)
+      (Fuzzer.Corpus.to_list t.Pipeline.corpus)
+  in
+  let plan = Core.Select.plan method_ t.Pipeline.ident ~corpus_ids rng ~max:budget in
+  (* snapshot the programs into a plain lookup the domains can share *)
+  let progs : (int, Fuzzer.Prog.t) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Fuzzer.Corpus.entry) ->
+      Hashtbl.replace progs e.Fuzzer.Corpus.id e.Fuzzer.Corpus.prog)
+    (Fuzzer.Corpus.to_list t.Pipeline.corpus);
+  let prog_of_id id = Hashtbl.find progs id in
+  let shards = shard domains plan.Core.Select.tests in
+  let workers =
+    Array.map
+      (fun sh ->
+        Domain.spawn (fun () ->
+            run_shard ~cfg:t.Pipeline.cfg ~ident:t.Pipeline.ident ~prog_of_id
+              ~kind sh))
+      shards
+  in
+  let results = Array.map Domain.join workers in
+  let sum f = Array.fold_left (fun acc r -> acc + f r) 0 results in
+  let issues : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  Array.iter
+    (fun r ->
+      List.iter
+        (fun (id, gidx) ->
+          match Hashtbl.find_opt issues id with
+          | Some first when first <= gidx -> ()
+          | _ -> Hashtbl.replace issues id gidx)
+        r.sr_issues)
+    results;
+  {
+    Pipeline.method_;
+    num_clusters = plan.Core.Select.num_clusters;
+    planned = List.length plan.Core.Select.tests;
+    executed = sum (fun r -> r.sr_executed);
+    hinted = sum (fun r -> r.sr_hinted);
+    hint_exercised = sum (fun r -> r.sr_hint_exercised);
+    pmc_observed = sum (fun r -> r.sr_pmc_observed);
+    issues =
+      Hashtbl.fold (fun id first acc -> (id, first + 1) :: acc) issues []
+      |> List.sort compare;
+    unknown_findings = sum (fun r -> r.sr_unknown);
+    total_trials = sum (fun r -> r.sr_trials);
+    total_steps = sum (fun r -> r.sr_steps);
+  }
+
+let run_campaign ?domains t ~budget =
+  List.map
+    (fun m -> run_method ?domains t m ~budget)
+    Core.Select.all_paper_methods

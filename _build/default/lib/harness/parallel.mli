@@ -1,0 +1,18 @@
+(** Parallel campaign execution over OCaml domains: the single-machine
+    analogue of the paper's distributed work queue (section 4.4.1).  The
+    plan is sharded round-robin; every worker gets its own guest VM; the
+    per-test seed derives from the global plan index, so the parallel run
+    finds exactly the same issues as [Pipeline.run_method]. *)
+
+val default_domains : unit -> int
+
+val run_method :
+  ?kind:Sched.Explore.kind ->
+  ?domains:int ->
+  Pipeline.t ->
+  Core.Select.method_ ->
+  budget:int ->
+  Pipeline.method_stats
+
+val run_campaign :
+  ?domains:int -> Pipeline.t -> budget:int -> Pipeline.method_stats list

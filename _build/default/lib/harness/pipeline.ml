@@ -1,0 +1,203 @@
+(* The end-to-end Snowboard pipeline (Figure 2 of the paper):
+
+     fuzz  ->  profile  ->  identify PMCs  ->  cluster/select  ->  execute
+
+   [prepare] runs the input-side phases once; [run_method] spends a
+   concurrent-test budget under one generation method, which is how the
+   Table 3 strategy comparison is organised (one Snowboard instance per
+   method, same resources each). *)
+
+module Prog = Fuzzer.Prog
+module Exec = Sched.Exec
+
+let src = Logs.Src.create "snowboard.pipeline" ~doc:"Snowboard pipeline phases"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type config = {
+  kernel : Kernel.Config.t;
+  seed : int;
+  fuzz_iters : int;  (* fuzzing iterations (generation + mutation) *)
+  trials_per_test : int;  (* interleavings explored per concurrent test *)
+  seed_corpus : Fuzzer.Prog.t list;
+      (* distilled seed programs offered to the corpus before random
+         generation starts, in the spirit of Moonshine's seed selection;
+         they pass through the same coverage filter as generated tests *)
+}
+
+let default =
+  {
+    kernel = Kernel.Config.v5_12_rc3;
+    seed = 1;
+    fuzz_iters = 400;
+    trials_per_test = 16;
+    seed_corpus = [];
+  }
+
+(* The per-issue scenario programs double as a distilled seed corpus. *)
+let scenario_seeds () =
+  List.concat_map
+    (fun (s : Scenarios.scenario) ->
+      [ s.Scenarios.writer; s.Scenarios.reader ])
+    Scenarios.all
+
+type t = {
+  cfg : config;
+  env : Exec.env;
+  corpus : Fuzzer.Corpus.t;
+  profiles : Core.Profile.t list;
+  ident : Core.Identify.t;
+  fuzz_steps : int;  (* guest instructions spent fuzzing *)
+  profile_steps : int;
+}
+
+(* Phase 1: coverage-guided sequential fuzzing (the Syzkaller role). *)
+let fuzz ?(seeds = []) env ~seed ~iters =
+  let rng = Random.State.make [| seed |] in
+  let corpus = Fuzzer.Corpus.create () in
+  let steps = ref 0 in
+  List.iter
+    (fun prog ->
+      let r = Exec.run_seq env ~tid:0 prog in
+      steps := !steps + r.Exec.sq_steps;
+      if not r.Exec.sq_panicked then
+        ignore (Fuzzer.Corpus.consider corpus prog ~edges:r.Exec.sq_edges))
+    seeds;
+  Log.info (fun m ->
+      m "seed corpus: %d programs offered, %d kept" (List.length seeds)
+        (Fuzzer.Corpus.size corpus));
+  for _ = 1 to iters do
+    let prog =
+      if Random.State.int rng 3 = 0 || Fuzzer.Corpus.size corpus = 0 then
+        Fuzzer.Gen.generate rng
+      else
+        let entries = Fuzzer.Corpus.to_list corpus in
+        let e = List.nth entries (Random.State.int rng (List.length entries)) in
+        Fuzzer.Gen.mutate rng e.Fuzzer.Corpus.prog
+    in
+    let r = Exec.run_seq env ~tid:0 prog in
+    steps := !steps + r.Exec.sq_steps;
+    (* sequential tests that crash or spam the console are not useful as
+       corpus entries; Snowboard wants clean sequential behaviour *)
+    if not r.Exec.sq_panicked then
+      ignore (Fuzzer.Corpus.consider corpus prog ~edges:r.Exec.sq_edges)
+  done;
+  Log.info (fun m ->
+      m "fuzzing done: %d iterations, corpus %d, %d edges, %d guest instructions"
+        iters (Fuzzer.Corpus.size corpus)
+        (Fuzzer.Corpus.total_edges corpus)
+        !steps);
+  (corpus, !steps)
+
+(* Phase 2: profile every corpus test from the boot snapshot. *)
+let profile_corpus env corpus =
+  let steps = ref 0 in
+  let profiles =
+    List.map
+      (fun (e : Fuzzer.Corpus.entry) ->
+        let r = Exec.run_seq env ~tid:0 e.prog in
+        steps := !steps + r.Exec.sq_steps;
+        Core.Profile.of_accesses ~test_id:e.id r.Exec.sq_accesses)
+      (Fuzzer.Corpus.to_list corpus)
+  in
+  (profiles, !steps)
+
+let prepare cfg =
+  let env = Exec.make_env cfg.kernel in
+  let corpus, fuzz_steps =
+    fuzz ~seeds:cfg.seed_corpus env ~seed:cfg.seed ~iters:cfg.fuzz_iters
+  in
+  let profiles, profile_steps = profile_corpus env corpus in
+  let ident = Core.Identify.run profiles in
+  Log.info (fun m ->
+      m "identification: %d profiles, %d PMCs" (List.length profiles)
+        (Core.Identify.num_pmcs ident));
+  { cfg; env; corpus; profiles; ident; fuzz_steps; profile_steps }
+
+let prog_of_id t id =
+  match Fuzzer.Corpus.find t.corpus id with
+  | Some e -> e.Fuzzer.Corpus.prog
+  | None -> invalid_arg (Printf.sprintf "pipeline: unknown corpus id %d" id)
+
+(* Execution statistics for one generation method. *)
+type method_stats = {
+  method_ : Core.Select.method_;
+  num_clusters : int;  (* Table 3 "Exemplar PMCs" (0 = NA) *)
+  planned : int;
+  executed : int;  (* concurrent tests actually run *)
+  hinted : int;  (* tests generated from a PMC *)
+  hint_exercised : int;  (* hinted tests whose channel occurred *)
+  pmc_observed : int;  (* tests where any identified PMC occurred *)
+  issues : (int * int) list;  (* issue id -> 1-based test index when found *)
+  unknown_findings : int;
+  total_trials : int;
+  total_steps : int;
+}
+
+let run_method ?(kind = Sched.Explore.Snowboard) t method_ ~budget =
+  let rng = Random.State.make [| t.cfg.seed + 7919 |] in
+  let corpus_ids =
+    List.map (fun (e : Fuzzer.Corpus.entry) -> e.id) (Fuzzer.Corpus.to_list t.corpus)
+  in
+  let plan = Core.Select.plan method_ t.ident ~corpus_ids rng ~max:budget in
+  let executed = ref 0
+  and hinted = ref 0
+  and hint_exercised = ref 0
+  and pmc_observed = ref 0
+  and unknown = ref 0
+  and total_trials = ref 0
+  and total_steps = ref 0 in
+  let issues : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (ct : Core.Select.conc_test) ->
+      incr executed;
+      if ct.hint <> None then incr hinted;
+      let kind = match ct.hint with Some _ -> kind | None -> Sched.Explore.Naive 8 in
+      let res =
+        Sched.Explore.run t.env ~ident:(Some t.ident)
+          ~writer:(prog_of_id t ct.writer) ~reader:(prog_of_id t ct.reader)
+          ~hint:ct.hint ~kind ~trials:t.cfg.trials_per_test
+          ~seed:(t.cfg.seed + (1000 * !executed))
+          ~stop_on_bug:false ()
+      in
+      if res.Sched.Explore.any_exercised then incr hint_exercised;
+      if res.Sched.Explore.any_pmc_observed then incr pmc_observed;
+      total_trials := !total_trials + List.length res.Sched.Explore.trials;
+      total_steps := !total_steps + res.Sched.Explore.total_steps;
+      List.iter
+        (fun id -> if not (Hashtbl.mem issues id) then Hashtbl.replace issues id !executed)
+        (Sched.Explore.issues_found res);
+      List.iter
+        (fun (f : Detectors.Oracle.finding) ->
+          if f.Detectors.Oracle.issue = None then incr unknown)
+        (Sched.Explore.findings_found res))
+    plan.Core.Select.tests;
+  Log.info (fun m ->
+      m "%s: %d tests executed, issues [%s]"
+        (Core.Select.method_name method_)
+        !executed
+        (String.concat ", "
+           (Hashtbl.fold (fun id _ acc -> string_of_int id :: acc) issues [])));
+  {
+    method_;
+    num_clusters = plan.Core.Select.num_clusters;
+    planned = List.length plan.Core.Select.tests;
+    executed = !executed;
+    hinted = !hinted;
+    hint_exercised = !hint_exercised;
+    pmc_observed = !pmc_observed;
+    issues =
+      Hashtbl.fold (fun id first acc -> (id, first) :: acc) issues []
+      |> List.sort compare;
+    unknown_findings = !unknown;
+    total_trials = !total_trials;
+    total_steps = !total_steps;
+  }
+
+(* A full campaign: every generation method with the same budget; the
+   union of issues is what Table 2 reports for a kernel version. *)
+let run_campaign t ~budget =
+  List.map (fun m -> run_method t m ~budget) Core.Select.all_paper_methods
+
+let issues_union stats =
+  List.concat_map (fun s -> List.map fst s.issues) stats |> List.sort_uniq compare

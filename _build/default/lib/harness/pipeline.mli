@@ -1,0 +1,73 @@
+(** The end-to-end Snowboard pipeline (Figure 2 of the paper):
+    fuzz -> profile -> identify -> cluster/select -> execute. *)
+
+type config = {
+  kernel : Kernel.Config.t;
+  seed : int;
+  fuzz_iters : int;  (** fuzzing iterations (generation + mutation) *)
+  trials_per_test : int;  (** interleavings per concurrent test *)
+  seed_corpus : Fuzzer.Prog.t list;
+      (** distilled seed programs offered before random generation, in
+          the spirit of Moonshine's seed selection *)
+}
+
+val default : config
+
+val scenario_seeds : unit -> Fuzzer.Prog.t list
+(** The per-issue scenario programs, usable as a seed corpus. *)
+
+type t = {
+  cfg : config;
+  env : Sched.Exec.env;
+  corpus : Fuzzer.Corpus.t;
+  profiles : Core.Profile.t list;
+  ident : Core.Identify.t;
+  fuzz_steps : int;  (** guest instructions spent fuzzing *)
+  profile_steps : int;
+}
+
+val fuzz :
+  ?seeds:Fuzzer.Prog.t list ->
+  Sched.Exec.env ->
+  seed:int ->
+  iters:int ->
+  Fuzzer.Corpus.t * int
+(** Phase 1: coverage-guided sequential fuzzing; returns the corpus and
+    the guest instructions spent. *)
+
+val profile_corpus :
+  Sched.Exec.env -> Fuzzer.Corpus.t -> Core.Profile.t list * int
+(** Phase 2: profile every corpus test from the boot snapshot. *)
+
+val prepare : config -> t
+(** Run the input-side phases: fuzz, profile, identify. *)
+
+val prog_of_id : t -> int -> Fuzzer.Prog.t
+(** The corpus program with this id; raises [Invalid_argument] if
+    unknown. *)
+
+type method_stats = {
+  method_ : Core.Select.method_;
+  num_clusters : int;  (** Table 3's "Exemplar PMCs" column (0 = NA) *)
+  planned : int;
+  executed : int;  (** concurrent tests actually run *)
+  hinted : int;  (** tests generated from a PMC *)
+  hint_exercised : int;  (** hinted tests whose channel occurred *)
+  pmc_observed : int;  (** tests where any identified PMC occurred *)
+  issues : (int * int) list;
+      (** issue id paired with the 1-based test index of discovery *)
+  unknown_findings : int;  (** untriaged findings (noise pool) *)
+  total_trials : int;
+  total_steps : int;
+}
+
+val run_method :
+  ?kind:Sched.Explore.kind -> t -> Core.Select.method_ -> budget:int -> method_stats
+(** Spend a concurrent-test budget under one generation method.  Hinted
+    tests run under [kind] (Snowboard by default); hint-less tests run
+    under naive random preemption. *)
+
+val run_campaign : t -> budget:int -> method_stats list
+(** All eleven paper methods with the same budget. *)
+
+val issues_union : method_stats list -> int list

@@ -1,0 +1,87 @@
+(* Table rendering for the benchmark harness: reproduces the layout of the
+   paper's Table 2 (issues found) and Table 3 (per-method statistics). *)
+
+let pf = Format.printf
+
+let hr () = pf "%s@." (String.make 100 '-')
+
+(* Table 2: issues found, annotated with the ground-truth metadata. *)
+let table2 ~(found : (string * int list) list) =
+  (* found: (kernel version label, issue ids) *)
+  pf "@.Table 2: concurrency issues found by Snowboard@.";
+  hr ();
+  pf "%-4s %-62s %-14s %-5s %-9s %-9s@." "ID" "Summary" "Version" "Type"
+    "Status" "Input";
+  hr ();
+  let all_found = List.concat_map snd found |> List.sort_uniq compare in
+  List.iter
+    (fun (m : Detectors.Issues.meta) ->
+      if List.mem m.id all_found then
+        pf "#%-3d %-62s %-14s %-5s %-9s %-9s@." m.id m.summary m.version
+          (Detectors.Issues.cls_name m.cls)
+          (Detectors.Issues.status_name m.status)
+          (Detectors.Issues.input_name m.input))
+    Detectors.Issues.all;
+  hr ();
+  let harmful = List.filter Detectors.Issues.harmful all_found in
+  pf "found %d issues (%d classified harmful/confirmed, %d benign)@."
+    (List.length all_found) (List.length harmful)
+    (List.length all_found - List.length harmful);
+  List.iter
+    (fun (label, ids) ->
+      pf "  %s: %s@." label
+        (String.concat ", " (List.map (fun i -> "#" ^ string_of_int i) ids)))
+    found
+
+(* Table 3: one row per generation method. *)
+let table3 (stats : Pipeline.method_stats list) =
+  pf "@.Table 3: testing results by concurrent-test generation method@.";
+  hr ();
+  pf "%-22s %12s %12s   %s@." "Method" "Exemplars" "Tested" "Issues found (test index)";
+  hr ();
+  List.iter
+    (fun (s : Pipeline.method_stats) ->
+      let issues =
+        if s.Pipeline.issues = [] then "-"
+        else
+          String.concat ", "
+            (List.map
+               (fun (id, at) -> Printf.sprintf "#%d (%d)" id at)
+               s.Pipeline.issues)
+      in
+      pf "%-22s %12s %12d   %s@."
+        (Core.Select.method_name s.Pipeline.method_)
+        (if s.Pipeline.num_clusters = 0 then "NA"
+         else string_of_int s.Pipeline.num_clusters)
+        s.Pipeline.executed issues)
+    stats;
+  hr ()
+
+(* Section 5.3.2-style accuracy summary. *)
+let accuracy (stats : Pipeline.method_stats list) =
+  let hinted = List.fold_left (fun n s -> n + s.Pipeline.hinted) 0 stats in
+  let hx = List.fold_left (fun n s -> n + s.Pipeline.hint_exercised) 0 stats in
+  let all = List.fold_left (fun n s -> n + s.Pipeline.executed) 0 stats in
+  let obs = List.fold_left (fun n s -> n + s.Pipeline.pmc_observed) 0 stats in
+  pf "@.PMC identification accuracy (section 5.3.2)@.";
+  hr ();
+  pf "concurrent inputs tested:                   %d@." all;
+  pf "inputs that exercised an identified PMC:    %d (%.0f%%; paper: 22%%)@." obs
+    (if all = 0 then 0. else 100. *. float_of_int obs /. float_of_int all);
+  pf "PMC-generated inputs:                       %d@." hinted;
+  pf "  whose hinted channel was exercised:       %d (precision %.0f%%; paper: 36%%)@."
+    hx
+    (if hinted = 0 then 0. else 100. *. float_of_int hx /. float_of_int hinted);
+  hr ()
+
+let pmc_summary (t : Pipeline.t) =
+  pf "@.Pipeline summary@.";
+  hr ();
+  pf "sequential tests in corpus:   %d@." (Fuzzer.Corpus.size t.Pipeline.corpus);
+  pf "coverage edges:               %d@." (Fuzzer.Corpus.total_edges t.Pipeline.corpus);
+  pf "profiled shared accesses:     %d@."
+    (List.fold_left (fun n p -> n + Core.Profile.length p) 0 t.Pipeline.profiles);
+  pf "identified PMCs:              %d@." (Core.Identify.num_pmcs t.Pipeline.ident);
+  pf "guest instructions (fuzz):    %d@." t.Pipeline.fuzz_steps;
+  pf "guest instructions (profile): %d@." t.Pipeline.profile_steps;
+  hr ()

@@ -1,0 +1,15 @@
+(** Table rendering for the benchmark harness: the layouts of the
+    paper's Table 2 and Table 3 plus the accuracy summary. *)
+
+val table2 : found:(string * int list) list -> unit
+(** Print Table 2 restricted to the found issues; [found] lists
+    (kernel-version label, issue ids). *)
+
+val table3 : Pipeline.method_stats list -> unit
+(** One row per generation method. *)
+
+val accuracy : Pipeline.method_stats list -> unit
+(** Section 5.3.2's PMC-accuracy summary, aggregated over methods. *)
+
+val pmc_summary : Pipeline.t -> unit
+(** Corpus/profile/identification statistics of a prepared pipeline. *)

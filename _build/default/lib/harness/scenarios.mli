@@ -1,0 +1,35 @@
+(** Hand-written reproduction scenarios for the 17 issues of Table 2:
+    per issue, a writer and a reader program exhibiting the relevant
+    PMC.  Used by integration tests, the case-study examples and the
+    interleavings-to-expose benchmark; the fuzzing pipeline finds the
+    same issues from random corpora. *)
+
+type scenario = { issue : int; writer : Fuzzer.Prog.t; reader : Fuzzer.Prog.t }
+
+val all : scenario list
+
+val find : int -> scenario option
+
+val identify :
+  Sched.Exec.env -> scenario -> Core.Identify.t * Core.Pmc.t list
+(** Profile the two programs and return the identification result plus
+    the PMCs that pair the writer (side 0) with the reader (side 1). *)
+
+type attempt = {
+  found : bool;
+  hints_tried : int;
+  trials_to_expose : int option;
+      (** total interleavings across hints until the issue fired *)
+  other_issues : int list;  (** distinct other issues seen on the way *)
+}
+
+val reproduce :
+  Sched.Exec.env ->
+  scenario ->
+  kind:Sched.Explore.kind ->
+  ?trials:int ->
+  seed:int ->
+  unit ->
+  attempt
+(** Drive the scenario under a scheduler, trying each hinted PMC until
+    the target issue fires or hints are exhausted. *)

@@ -1,0 +1,1 @@
+lib/kernel/kernel.ml: Abi Blockdev Config Configfs Dsl Ext4 Fanout Ioctl Kbase L2tp List Net_core Netdev Pipefs Relay Rhash Sound Tcpcong Tty Vfs Vmm

@@ -1,0 +1,1 @@
+lib/kernel/abi.ml: Printf

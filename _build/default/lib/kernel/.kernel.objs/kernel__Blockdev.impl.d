@@ -1,0 +1,1 @@
+lib/kernel/blockdev.ml: Config Dsl Vmm

@@ -1,0 +1,1 @@
+lib/kernel/configfs.ml: Abi Config Dsl Vmm

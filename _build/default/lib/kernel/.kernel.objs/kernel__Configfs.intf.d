@@ -1,0 +1,1 @@
+lib/kernel/configfs.mli: Config Vmm

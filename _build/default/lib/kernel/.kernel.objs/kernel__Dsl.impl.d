@@ -1,0 +1,1 @@
+lib/kernel/dsl.ml: Vmm

@@ -1,0 +1,1 @@
+lib/kernel/ext4.mli: Config Vmm

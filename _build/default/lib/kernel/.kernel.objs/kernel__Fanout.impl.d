@@ -1,0 +1,1 @@
+lib/kernel/fanout.ml: Abi Config Dsl Vmm

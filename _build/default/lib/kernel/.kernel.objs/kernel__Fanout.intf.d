@@ -1,0 +1,1 @@
+lib/kernel/fanout.mli: Config Vmm

@@ -1,0 +1,1 @@
+lib/kernel/ioctl.ml: Abi Config Dsl Vmm

@@ -1,0 +1,1 @@
+lib/kernel/ioctl.mli: Config Vmm

@@ -1,0 +1,1 @@
+lib/kernel/kbase.ml: Dsl Vmm

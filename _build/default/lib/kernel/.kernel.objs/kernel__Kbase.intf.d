@@ -1,0 +1,1 @@
+lib/kernel/kbase.mli: Vmm

@@ -1,0 +1,1 @@
+lib/kernel/l2tp.ml: Abi Config Dsl Vmm

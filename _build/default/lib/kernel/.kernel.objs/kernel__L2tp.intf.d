@@ -1,0 +1,1 @@
+lib/kernel/l2tp.mli: Config Vmm

@@ -1,0 +1,1 @@
+lib/kernel/net_core.ml: Abi Dsl Vmm

@@ -1,0 +1,1 @@
+lib/kernel/net_core.mli: Vmm

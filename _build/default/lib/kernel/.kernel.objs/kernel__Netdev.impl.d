@@ -1,0 +1,1 @@
+lib/kernel/netdev.ml: Abi Config Dsl Vmm

@@ -1,0 +1,1 @@
+lib/kernel/pipefs.ml: Abi Config Dsl Vmm

@@ -1,0 +1,1 @@
+lib/kernel/pipefs.mli: Config Vmm

@@ -1,0 +1,1 @@
+lib/kernel/relay.ml: Abi Config Dsl Vmm

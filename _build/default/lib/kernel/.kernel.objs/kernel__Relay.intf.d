@@ -1,0 +1,1 @@
+lib/kernel/relay.mli: Config Vmm

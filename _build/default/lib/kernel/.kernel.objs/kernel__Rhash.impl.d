@@ -1,0 +1,1 @@
+lib/kernel/rhash.ml: Abi Config Dsl Vmm

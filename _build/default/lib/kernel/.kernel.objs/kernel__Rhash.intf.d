@@ -1,0 +1,1 @@
+lib/kernel/rhash.mli: Config Vmm

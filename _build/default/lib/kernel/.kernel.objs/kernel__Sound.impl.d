@@ -1,0 +1,1 @@
+lib/kernel/sound.ml: Config Dsl Vmm

@@ -1,0 +1,1 @@
+lib/kernel/tcpcong.ml: Config Dsl Vmm

@@ -1,0 +1,1 @@
+lib/kernel/tcpcong.mli: Config Vmm

@@ -1,0 +1,1 @@
+lib/kernel/tty.ml: Config Dsl Vmm

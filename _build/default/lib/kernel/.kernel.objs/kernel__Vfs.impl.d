@@ -1,0 +1,1 @@
+lib/kernel/vfs.ml: Abi Config Dsl Vmm

@@ -1,0 +1,112 @@
+(* Guest kernel ABI: syscall numbers and constants shared by the kernel
+   image, the user-space test executor and the fuzzer's syscall templates.
+   The names mirror the Linux constants involved in the paper's bugs. *)
+
+(* System call numbers. *)
+let sys_socket = 0
+let sys_connect = 1
+let sys_sendmsg = 2
+let sys_getsockname = 3
+let sys_setsockopt = 4
+let sys_ioctl = 5
+let sys_close = 6
+let sys_open = 7
+let sys_read = 8
+let sys_write = 9
+let sys_ftruncate = 10
+let sys_fadvise = 11
+let sys_msgget = 12
+let sys_msgctl = 13
+let sys_rename = 14
+let sys_mount = 15
+
+let sys_relay = 16
+(* extension syscall (paper section 6 three-thread workload):
+   relay(op) with op 1 = produce, 2 = forward, 3 = consume *)
+
+let sys_pipe = 17
+let sys_dup = 18
+
+let num_syscalls = 19
+
+let syscall_name = function
+  | 0 -> "socket"
+  | 1 -> "connect"
+  | 2 -> "sendmsg"
+  | 3 -> "getsockname"
+  | 4 -> "setsockopt"
+  | 5 -> "ioctl"
+  | 6 -> "close"
+  | 7 -> "open"
+  | 8 -> "read"
+  | 9 -> "write"
+  | 10 -> "ftruncate"
+  | 11 -> "fadvise"
+  | 12 -> "msgget"
+  | 13 -> "msgctl"
+  | 14 -> "rename"
+  | 15 -> "mount"
+  | 16 -> "relay"
+  | 17 -> "pipe"
+  | 18 -> "dup"
+  | n -> Printf.sprintf "sys_%d" n
+
+(* Socket domains. *)
+let af_inet = 1
+let af_inet6 = 2
+let af_packet = 3
+let px_proto_ol2tp = 4
+
+(* ioctl commands. *)
+let siocsifhwaddr = 1  (* set MAC via net core (writer of bug #9) *)
+let siocgifhwaddr = 2  (* get MAC, dev_ifsioc_locked (reader of bug #9) *)
+let siocethtool = 3  (* driver-level MAC set, e1000_set_mac (bug #8) *)
+let siocsifmtu = 4  (* __dev_set_mtu (bug #7) *)
+let siocdelrt = 5  (* fib6_clean_node (bug #10) *)
+let blkraset = 6  (* blkdev_ioctl read-ahead (bug #5) *)
+let blkbszset = 7  (* set_blocksize (bug #6) *)
+let ext4_ioc_swap_boot = 8  (* swap_inode_boot_loader (bug #2) *)
+let tiocserconfig = 9  (* uart_do_autoconfig (bug #14) *)
+let sndrv_ctl_elem_add = 10  (* snd_ctl_elem_add (bug #15) *)
+let tcp_set_default_cc = 11  (* tcp_set_default_congestion_control (bug #16) *)
+
+(* setsockopt options. *)
+let so_tcp_congestion = 1  (* tcp_set_congestion_control (bug #16) *)
+let so_packet_fanout = 2  (* fanout_add (bug #17) *)
+
+(* msgctl commands. *)
+let ipc_rmid = 1
+let ipc_stat = 2
+
+(* open(2) path identifiers: the guest has a fixed namespace. *)
+let path_file0 = 0
+let path_file1 = 1
+let path_file2 = 2
+let path_file3 = 3
+let path_boot_inode = 4  (* the ext4 boot-loader inode *)
+let path_tty = 8  (* /dev/ttyS0 *)
+let path_configfs = 9  (* a configfs item *)
+let path_blockdev = 10  (* /dev/sda *)
+let num_paths = 11
+
+(* File-descriptor table geometry. *)
+let max_fds = 16
+
+(* Object type tags stored in the first word of kernel objects.  Socket
+   objects store their domain (1-4); file objects store a kind >= 11 so
+   the two families are distinguishable. *)
+let kind_file = 11
+let kind_tty = 12
+let kind_configfs = 13
+let kind_blockdev = 14
+let kind_fifo = 15
+
+(* open(2) flag bits for the configfs path. *)
+let o_create = 1
+let o_remove = 2
+
+(* Errors (returned as small negative numbers). *)
+let ebadf = -9
+let einval = -22
+let enoent = -2
+let enomem = -12

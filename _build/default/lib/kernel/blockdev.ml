@@ -1,0 +1,75 @@
+(* The block device: read-ahead setting and logical block size.
+
+   #5  blkdev_ioctl(BLKRASET) stores bdev->ra_pages under bd_lock while
+       generic_fadvise() reads it with a plain, unlocked load.
+   #6  set_blocksize() stores the block size under bd_lock while
+       do_mpage_readpage() reads it locklessly to compute sector counts.
+
+   Device layout (global "bdev"): +0 ra_pages, +8 blocksize. *)
+
+module Asm = Vmm.Asm
+open Vmm.Isa
+open Dsl
+
+type t = { bdev : int }
+
+let install a (cfg : Config.t) =
+  let bdev = Asm.global a "bdev" 16 in
+  let bd_lock = Asm.global a "bd_lock" 8 in
+
+  func a "blockdev_init" (fun () ->
+      li a r14 bdev;
+      st a r14 0 (Imm 32) (* default read-ahead *);
+      st a r14 8 (Imm 512) (* default block size *);
+      ret a);
+
+  (* blkdev_ioctl_raset(r0 = pages): writer of #5, under bd_lock. *)
+  func a "blkdev_ioctl_raset" (fun () ->
+      push a r8;
+      mov a r8 r0;
+      li a r0 bd_lock;
+      call a "spin_lock";
+      li a r14 bdev;
+      st a ~atomic:(not cfg.bug5_ra_pages) r14 0 (Reg r8);
+      li a r0 bd_lock;
+      call a "spin_unlock";
+      li a r0 0;
+      pop a r8;
+      ret a);
+
+  (* generic_fadvise(r0 = file object, r1 = advice): reader of #5.  The
+     computed read-ahead is cached on the private file object. *)
+  func a "generic_fadvise" (fun () ->
+      li a r14 bdev;
+      ld a ~atomic:(not cfg.bug5_ra_pages) r15 r14 0;
+      add a r15 r15 (Reg r1) (* advice shifts the window *);
+      shl a r15 r15 (Imm 1);
+      st a r0 16 (Reg r15);
+      li a r0 0;
+      ret a);
+
+  (* set_blocksize(r0 = size): writer of #6, under bd_lock. *)
+  func a "set_blocksize" (fun () ->
+      push a r8;
+      mov a r8 r0;
+      li a r0 bd_lock;
+      call a "spin_lock";
+      li a r14 bdev;
+      st a ~atomic:(not cfg.bug6_blocksize) r14 8 (Reg r8);
+      li a r0 bd_lock;
+      call a "spin_unlock";
+      li a r0 0;
+      pop a r8;
+      ret a);
+
+  (* do_mpage_readpage(r0 = file object, r1 = len): reader of #6. *)
+  func a "do_mpage_readpage" (fun () ->
+      li a r14 bdev;
+      ld a ~atomic:(not cfg.bug6_blocksize) r15 r14 8;
+      li a r14 4096;
+      Asm.emit a (Bin (Div, r14, r14, Reg r15));
+      st a r0 16 (Reg r14);
+      li a r0 0;
+      ret a);
+
+  { bdev }

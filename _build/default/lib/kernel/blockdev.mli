@@ -1,0 +1,6 @@
+(** Block device: read-ahead setting and logical block size; hosts the
+    data races #5 (ra_pages) and #6 (blocksize). *)
+
+type t = { bdev : int }
+
+val install : Vmm.Asm.t -> Config.t -> t

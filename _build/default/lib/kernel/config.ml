@@ -1,0 +1,105 @@
+(* Kernel build configuration: which of the paper's 17 issues are present.
+
+   Each flag selects between the buggy code (as found by Snowboard) and the
+   fixed variant (modelled on the upstream patch).  The presets mirror the
+   kernel versions tested in the paper: issues #1-#10 were found in Linux
+   5.3.10, #2 and #11-#17 in 5.12-rc3 (Table 2). *)
+
+type t = {
+  bug1_rht_double_fetch : bool;  (* rhashtable double fetch, gcc -O2 codegen *)
+  bug2_ext4_swap_boot : bool;  (* swap_inode_boot_loader drops the lock *)
+  bug3_ext4_extents : bool;  (* torn extent-magic update *)
+  bug4_block_io : bool;  (* block freed while IO in flight *)
+  bug5_ra_pages : bool;  (* blkdev_ioctl vs generic_fadvise *)
+  bug6_blocksize : bool;  (* do_mpage_readpage vs set_blocksize *)
+  bug7_mtu : bool;  (* rawv6_send_hdrinc vs __dev_set_mtu *)
+  bug8_ethtool_mac : bool;  (* packet_getname vs e1000_set_mac *)
+  bug9_ifsioc_mac : bool;  (* dev_ifsioc_locked vs eth_commit_mac_addr_change *)
+  bug10_fib6_cookie : bool;  (* fib6 cookie, benign *)
+  bug11_configfs : bool;  (* configfs_lookup vs rmdir *)
+  bug12_l2tp : bool;  (* tunnel published before sock init *)
+  bug13_slab_stats : bool;  (* cache_alloc_refill vs free_block, benign *)
+  bug14_uart : bool;  (* tty_port_open vs uart_do_autoconfig *)
+  bug15_snd_ctl : bool;  (* snd_ctl_elem_add accounting *)
+  bug16_tcp_cc : bool;  (* congestion-control default, benign *)
+  bug17_fanout : bool;  (* fanout_demux_rollover vs __fanout_unlink *)
+  bug18_relay : bool;
+      (* extension (paper section 6): a three-thread order violation used
+         to exercise PMC chains; not part of Table 2 *)
+}
+
+let all_fixed =
+  {
+    bug1_rht_double_fetch = false;
+    bug2_ext4_swap_boot = false;
+    bug3_ext4_extents = false;
+    bug4_block_io = false;
+    bug5_ra_pages = false;
+    bug6_blocksize = false;
+    bug7_mtu = false;
+    bug8_ethtool_mac = false;
+    bug9_ifsioc_mac = false;
+    bug10_fib6_cookie = false;
+    bug11_configfs = false;
+    bug12_l2tp = false;
+    bug13_slab_stats = false;
+    bug14_uart = false;
+    bug15_snd_ctl = false;
+    bug16_tcp_cc = false;
+    bug17_fanout = false;
+    bug18_relay = false;
+  }
+
+let all_buggy =
+  {
+    bug1_rht_double_fetch = true;
+    bug2_ext4_swap_boot = true;
+    bug3_ext4_extents = true;
+    bug4_block_io = true;
+    bug5_ra_pages = true;
+    bug6_blocksize = true;
+    bug7_mtu = true;
+    bug8_ethtool_mac = true;
+    bug9_ifsioc_mac = true;
+    bug10_fib6_cookie = true;
+    bug11_configfs = true;
+    bug12_l2tp = true;
+    bug13_slab_stats = true;
+    bug14_uart = true;
+    bug15_snd_ctl = true;
+    bug16_tcp_cc = true;
+    bug17_fanout = true;
+    bug18_relay = true;
+  }
+
+(* Linux 5.3.10: the stable kernel used for the focused search. *)
+let v5_3_10 =
+  {
+    all_fixed with
+    bug1_rht_double_fetch = true;
+    bug2_ext4_swap_boot = true;
+    bug3_ext4_extents = true;
+    bug4_block_io = true;
+    bug5_ra_pages = true;
+    bug6_blocksize = true;
+    bug7_mtu = true;
+    bug8_ethtool_mac = true;
+    bug9_ifsioc_mac = true;
+    bug10_fib6_cookie = true;
+  }
+
+(* Linux 5.12-rc3: the release candidate used for the wide search and for
+   the Table 3 strategy comparison. *)
+let v5_12_rc3 =
+  {
+    all_fixed with
+    bug2_ext4_swap_boot = true;
+    bug11_configfs = true;
+    bug12_l2tp = true;
+    bug13_slab_stats = true;
+    bug14_uart = true;
+    bug15_snd_ctl = true;
+    bug16_tcp_cc = true;
+    bug17_fanout = true;
+    bug18_relay = true;
+  }

@@ -1,0 +1,114 @@
+(* configfs: a single default item under a subsystem mutex.
+
+   #11: configfs_lookup() walks the item list without the mutex that the
+   rmdir path holds.  rmdir drops the item's name pointer, unlinks it and
+   frees it; a concurrent lookup that already fetched the item pointer
+   dereferences the NULL name and panics - "BUG: kernel NULL pointer
+   dereference", fixed upstream by taking the mutex in the lookup.
+
+   Item layout (32 bytes): +0 freelist-poisoned link, +8 name pointer. *)
+
+module Asm = Vmm.Asm
+open Vmm.Isa
+open Dsl
+
+type t = { configfs_subsys : int }
+
+let install a (cfg : Config.t) =
+  let subsys = Asm.global a "configfs_subsys" 8 in
+  let mutex = Asm.global a "configfs_mutex" 8 in
+  let name = Asm.global_words a "configfs_name" [ 0x6d6574692d736664 ] in
+
+  (* configfs_mkdir(): create the default item if absent. *)
+  func a "configfs_mkdir" (fun () ->
+      let exists = fresh a "exists" in
+      push a r8;
+      li a r0 mutex;
+      call a "spin_lock";
+      li a r14 subsys;
+      ld a r15 r14 0;
+      bne a r15 (Imm 0) exists;
+      li a r0 32;
+      call a "kmalloc";
+      mov a r8 r0;
+      li a r14 name;
+      st a r8 8 (Reg r14);
+      li a r14 subsys;
+      st a r14 0 (Reg r8);
+      li a r0 mutex;
+      call a "spin_unlock";
+      li a r0 0;
+      pop a r8;
+      ret a;
+      label a exists;
+      li a r0 mutex;
+      call a "spin_unlock";
+      li a r0 (-17) (* EEXIST *);
+      pop a r8;
+      ret a);
+
+  (* configfs_rmdir(): unlink and free the default item. *)
+  func a "configfs_rmdir" (fun () ->
+      let empty = fresh a "empty" in
+      push a r8;
+      li a r0 mutex;
+      call a "spin_lock";
+      li a r14 subsys;
+      ld a r8 r14 0;
+      beq a r8 (Imm 0) empty;
+      st a r14 0 (Imm 0);
+      (* d_drop: the dentry's name goes away *)
+      st a r8 8 (Imm 0);
+      mov a r0 r8;
+      li a r1 32;
+      call a "kfree";
+      li a r0 mutex;
+      call a "spin_unlock";
+      li a r0 0;
+      pop a r8;
+      ret a;
+      label a empty;
+      li a r0 mutex;
+      call a "spin_unlock";
+      li a r0 Abi.enoent;
+      pop a r8;
+      ret a);
+
+  (* configfs_lookup() -> r0 = item or 0.  The buggy variant does not
+     take the subsystem mutex. *)
+  func a "configfs_lookup" (fun () ->
+      let miss = fresh a "miss" in
+      push a r8;
+      if not cfg.bug11_configfs then begin
+        li a r0 mutex;
+        call a "spin_lock"
+      end;
+      li a r14 subsys;
+      ld a r8 r14 0;
+      beq a r8 (Imm 0) miss;
+      (* compare the name: dereferences the dropped name pointer *)
+      ld a r14 r8 8;
+      ld a ~size:1 r15 r14 0;
+      if not cfg.bug11_configfs then begin
+        li a r0 mutex;
+        call a "spin_unlock"
+      end;
+      mov a r0 r8;
+      pop a r8;
+      ret a;
+      label a miss;
+      if not cfg.bug11_configfs then begin
+        li a r0 mutex;
+        call a "spin_unlock"
+      end;
+      li a r0 0;
+      pop a r8;
+      ret a);
+
+  (* configfs_init: the subsystem boots with one default item. *)
+  func a "configfs_init" (fun () ->
+      call a "configfs_mkdir";
+      ret a);
+
+  ignore name;
+  { configfs_subsys = subsys }

@@ -1,0 +1,6 @@
+(** configfs: one default item under a subsystem mutex; hosts issue #11
+    (lockless lookup vs rmdir, a NULL dereference). *)
+
+type t = { configfs_subsys : int }
+
+val install : Vmm.Asm.t -> Config.t -> t

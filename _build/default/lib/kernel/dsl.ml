@@ -1,0 +1,50 @@
+(* Thin combinator layer over the assembler so that kernel code reads like
+   assembly listings.  Every combinator takes the builder as first argument;
+   kernel modules conventionally bind [let a = builder] once. *)
+
+module Asm = Vmm.Asm
+open Vmm.Isa
+
+let li a r v = Asm.emit a (Li (r, v))
+let mov a d s = Asm.emit a (Mov (d, s))
+let add a d s o = Asm.emit a (Bin (Add, d, s, o))
+let sub a d s o = Asm.emit a (Bin (Sub, d, s, o))
+let band a d s o = Asm.emit a (Bin (And, d, s, o))
+let bor a d s o = Asm.emit a (Bin (Or, d, s, o))
+let bxor a d s o = Asm.emit a (Bin (Xor, d, s, o))
+let shl a d s o = Asm.emit a (Bin (Shl, d, s, o))
+let shr a d s o = Asm.emit a (Bin (Shr, d, s, o))
+let mul a d s o = Asm.emit a (Bin (Mul, d, s, o))
+
+let ld a ?(atomic = false) ?(size = 8) dst base off =
+  Asm.emit a (Load { dst; base; off; size; atomic })
+
+let st a ?(atomic = false) ?(size = 8) base off src =
+  Asm.emit a (Store { base; off; src; size; atomic })
+
+let cas a dst base off expected desired =
+  Asm.emit a (Cas { dst; base; off; expected; desired })
+
+let faa a dst base off delta = Asm.emit a (Faa { dst; base; off; delta })
+
+let br a c r o l = Asm.emit a (Br (c, r, o, l))
+let beq a r o l = br a Eq r o l
+let bne a r o l = br a Ne r o l
+let blt a r o l = br a Lt r o l
+let ble a r o l = br a Le r o l
+let bgt a r o l = br a Gt r o l
+let bge a r o l = br a Ge r o l
+
+let jmp a l = Asm.emit a (Jmp l)
+let call a l = Asm.emit a (Call l)
+let callind a r = Asm.emit a (Callind r)
+let ret a = Asm.emit a Ret
+let push a r = Asm.emit a (Push r)
+let pop a r = Asm.emit a (Pop r)
+let pause a = Asm.emit a Pause
+let halt a = Asm.emit a Halt
+let hyper a h = Asm.emit a (Hyper h)
+
+let label = Asm.label
+let fresh = Asm.fresh
+let func = Asm.func

@@ -1,0 +1,48 @@
+(** Thin combinator layer over the assembler so kernel code reads like an
+    assembly listing.  Every combinator takes the builder first; kernel
+    modules conventionally bind [let a = builder] once. *)
+
+open Vmm.Isa
+
+val li : Vmm.Asm.t -> reg -> int -> unit
+val mov : Vmm.Asm.t -> reg -> reg -> unit
+val add : Vmm.Asm.t -> reg -> reg -> operand -> unit
+val sub : Vmm.Asm.t -> reg -> reg -> operand -> unit
+val band : Vmm.Asm.t -> reg -> reg -> operand -> unit
+val bor : Vmm.Asm.t -> reg -> reg -> operand -> unit
+val bxor : Vmm.Asm.t -> reg -> reg -> operand -> unit
+val shl : Vmm.Asm.t -> reg -> reg -> operand -> unit
+val shr : Vmm.Asm.t -> reg -> reg -> operand -> unit
+val mul : Vmm.Asm.t -> reg -> reg -> operand -> unit
+
+val ld : Vmm.Asm.t -> ?atomic:bool -> ?size:int -> reg -> reg -> int -> unit
+(** [ld a dst base off] loads; [atomic] marks the access
+    (READ_ONCE/rcu_dereference analogue). *)
+
+val st : Vmm.Asm.t -> ?atomic:bool -> ?size:int -> reg -> int -> operand -> unit
+(** [st a base off src] stores; [atomic] marks the access. *)
+
+val cas : Vmm.Asm.t -> reg -> reg -> int -> operand -> operand -> unit
+val faa : Vmm.Asm.t -> reg -> reg -> int -> operand -> unit
+
+val br : Vmm.Asm.t -> cond -> reg -> operand -> string -> unit
+val beq : Vmm.Asm.t -> reg -> operand -> string -> unit
+val bne : Vmm.Asm.t -> reg -> operand -> string -> unit
+val blt : Vmm.Asm.t -> reg -> operand -> string -> unit
+val ble : Vmm.Asm.t -> reg -> operand -> string -> unit
+val bgt : Vmm.Asm.t -> reg -> operand -> string -> unit
+val bge : Vmm.Asm.t -> reg -> operand -> string -> unit
+
+val jmp : Vmm.Asm.t -> string -> unit
+val call : Vmm.Asm.t -> string -> unit
+val callind : Vmm.Asm.t -> reg -> unit
+val ret : Vmm.Asm.t -> unit
+val push : Vmm.Asm.t -> reg -> unit
+val pop : Vmm.Asm.t -> reg -> unit
+val pause : Vmm.Asm.t -> unit
+val halt : Vmm.Asm.t -> unit
+val hyper : Vmm.Asm.t -> hyper -> unit
+
+val label : Vmm.Asm.t -> string -> unit
+val fresh : Vmm.Asm.t -> string -> string
+val func : Vmm.Asm.t -> string -> (unit -> unit) -> unit

@@ -1,0 +1,315 @@
+(* A miniature ext4: 8 inodes with checksums, extent-header magics and a
+   block map.  Hosts three atomicity violations from the paper:
+
+   #2  swap_inode_boot_loader() swaps inode fields in two critical
+       sections, dropping the lock in between; a concurrent reader
+       validates the checksum mid-swap and logs
+       "EXT4-fs error: ... checksum invalid".
+   #3  the extent-grow path rewrites the extent-header magic in two
+       locked sections (clear, then restore); a reader in between sees a
+       zero magic and logs "EXT4-fs error: ext4_ext_check_inode".
+   #4  the read path checks the block map, drops the lock for the
+       simulated IO and re-checks at completion; ftruncate() freeing the
+       block in between yields "blk_update_request: I/O error".  The two
+       reads of the same block-map word are a double fetch, making this
+       the natural prey of the S-CH-DOUBLE clustering strategy.
+
+   Inode layout (64 bytes each): +0 i_blocks, +8 i_size, +16 boot_data,
+   +24 checksum, +32 extent magic (2 bytes), +40 state. *)
+
+module Asm = Vmm.Asm
+open Vmm.Isa
+open Dsl
+
+let num_inodes = 8
+let inode_size = 64
+let boot_ino = 1
+let extent_magic = 0xf30a
+
+type t = { ext4_inodes : int; block_map : int }
+
+let install a (cfg : Config.t) =
+  let inodes = Asm.global a "ext4_inodes" (num_inodes * inode_size) in
+  let ext4_lock = Asm.global a "ext4_lock" 8 in
+  let block_map = Asm.global a "ext4_block_map" (8 * num_inodes) in
+  let msg_csum =
+    Asm.msg a "EXT4-fs error (device sda): ext4_iget: checksum invalid for inode %d"
+  in
+  let msg_magic =
+    Asm.msg a "EXT4-fs error (device sda): ext4_ext_check_inode: inode %d: invalid magic"
+  in
+  let msg_io = Asm.msg a "blk_update_request: I/O error, dev sda, sector %d" in
+
+  (* inode_addr(r0 = ino) -> r0; leaf, clobbers r15. *)
+  func a "ext4_inode_addr" (fun () ->
+      band a r0 r0 (Imm (num_inodes - 1));
+      mul a r0 r0 (Imm inode_size);
+      add a r0 r0 (Imm inodes);
+      ret a);
+
+  (* ext4_compute_csum(r0 = inode address) -> r0.  Leaf, clobbers r14. *)
+  func a "ext4_compute_csum" (fun () ->
+      ld a r14 r0 0;
+      mov a r15 r14;
+      ld a r14 r0 8;
+      add a r15 r15 (Reg r14);
+      ld a r14 r0 16;
+      add a r15 r15 (Reg r14);
+      mov a r0 r15;
+      ret a);
+
+  (* ext4_init: build a consistent filesystem before the snapshot. *)
+  func a "ext4_init" (fun () ->
+      let loop = fresh a "loop" and done_ = fresh a "done" in
+      push a r8;
+      push a r9;
+      li a r8 0;
+      label a loop;
+      bge a r8 (Imm num_inodes) done_;
+      mov a r0 r8;
+      call a "ext4_inode_addr";
+      mov a r9 r0;
+      add a r14 r8 (Imm 1);
+      st a r9 0 (Reg r14);
+      mul a r14 r14 (Imm 4096);
+      st a r9 8 (Reg r14);
+      st a r9 16 (Imm 0);
+      mov a r0 r9;
+      call a "ext4_compute_csum";
+      st a r9 24 (Reg r0);
+      st a ~size:2 r9 32 (Imm extent_magic);
+      (* block map entry: mapped *)
+      mov a r14 r8;
+      shl a r14 r14 (Imm 3);
+      add a r14 r14 (Imm block_map);
+      st a r14 0 (Imm 1);
+      add a r8 r8 (Imm 1);
+      jmp a loop;
+      label a done_;
+      (* the boot inode carries distinctive boot data *)
+      li a r0 boot_ino;
+      call a "ext4_inode_addr";
+      st a r0 16 (Imm 0x42);
+      mov a r9 r0;
+      call a "ext4_compute_csum";
+      st a r9 24 (Reg r0);
+      pop a r9;
+      pop a r8;
+      ret a);
+
+  (* ext4_file_read(r0 = ino, r1 = len): the reader of bugs #2, #3, #4. *)
+  func a "ext4_file_read" (fun () ->
+      let csum_ok = fresh a "csum_ok" and magic_ok = fresh a "magic_ok" in
+      let unmapped = fresh a "unmapped" and io_ok = fresh a "io_ok" in
+      let spin = fresh a "spin" and spin_done = fresh a "spin_done" in
+      push a r8;
+      push a r9;
+      push a r10;
+      call a "ext4_inode_addr";
+      mov a r8 r0;
+      li a r0 ext4_lock;
+      call a "spin_lock";
+      (* ext4_iget: validate the inode checksum *)
+      mov a r0 r8;
+      call a "ext4_compute_csum";
+      ld a r14 r8 24;
+      beq a r0 (Reg r14) csum_ok;
+      sub a r0 r8 (Imm inodes);
+      Dsl.shr a r0 r0 (Imm 6);
+      hyper a (Hconsole msg_csum);
+      label a csum_ok;
+      (* ext4_ext_check_inode: validate the extent-header magic *)
+      ld a ~size:2 r14 r8 32;
+      beq a r14 (Imm extent_magic) magic_ok;
+      sub a r0 r8 (Imm inodes);
+      Dsl.shr a r0 r0 (Imm 6);
+      hyper a (Hconsole msg_magic);
+      label a magic_ok;
+      (* block IO: check the mapping, issue IO, re-check at completion *)
+      sub a r9 r8 (Imm inodes);
+      Dsl.shr a r9 r9 (Imm 6);
+      shl a r9 r9 (Imm 3);
+      add a r9 r9 (Imm block_map);
+      ld a r10 r9 0 (* first fetch: submission-time check *);
+      if cfg.bug4_block_io then begin
+        li a r0 ext4_lock;
+        call a "spin_unlock";
+        beq a r10 (Imm 0) unmapped;
+        (* simulated IO latency *)
+        li a r14 3;
+        label a spin;
+        ble a r14 (Imm 0) spin_done;
+        sub a r14 r14 (Imm 1);
+        jmp a spin;
+        label a spin_done;
+        ld a r14 r9 0 (* second fetch: completion-time check *);
+        bne a r14 (Imm 0) io_ok;
+        sub a r0 r9 (Imm block_map);
+        hyper a (Hconsole msg_io);
+        label a io_ok;
+        label a unmapped
+      end
+      else begin
+        (* fixed: the mapping check and the IO stay under the lock *)
+        ignore unmapped;
+        ignore spin;
+        ignore spin_done;
+        ignore io_ok;
+        li a r0 ext4_lock;
+        call a "spin_unlock"
+      end;
+      li a r0 0;
+      pop a r10;
+      pop a r9;
+      pop a r8;
+      ret a);
+
+  (* swap_inode_boot_loader(r0 = ino): the writer of bug #2. *)
+  func a "swap_inode_boot_loader" (fun () ->
+      push a r8;
+      push a r9;
+      call a "ext4_inode_addr";
+      mov a r8 r0;
+      li a r0 boot_ino;
+      call a "ext4_inode_addr";
+      mov a r9 r0;
+      li a r0 ext4_lock;
+      call a "spin_lock";
+      (* first half: swap i_blocks and i_size *)
+      ld a r13 r8 0;
+      ld a r14 r9 0;
+      st a r8 0 (Reg r14);
+      st a r9 0 (Reg r13);
+      ld a r13 r8 8;
+      ld a r14 r9 8;
+      st a r8 8 (Reg r14);
+      st a r9 8 (Reg r13);
+      if cfg.bug2_ext4_swap_boot then begin
+        (* buggy: the lock is dropped between the two halves *)
+        li a r0 ext4_lock;
+        call a "spin_unlock";
+        li a r0 ext4_lock;
+        call a "spin_lock"
+      end;
+      (* second half: swap boot data and fix both checksums *)
+      ld a r13 r8 16;
+      ld a r14 r9 16;
+      st a r8 16 (Reg r14);
+      st a r9 16 (Reg r13);
+      mov a r0 r8;
+      call a "ext4_compute_csum";
+      st a r8 24 (Reg r0);
+      mov a r0 r9;
+      call a "ext4_compute_csum";
+      st a r9 24 (Reg r0);
+      li a r0 ext4_lock;
+      call a "spin_unlock";
+      li a r0 0;
+      pop a r9;
+      pop a r8;
+      ret a);
+
+  (* ext4_extent_write(r0 = ino, r1 = len): the writer of bug #3; also
+     (re)maps the inode's block, the counterpart of ftruncate. *)
+  func a "ext4_extent_write" (fun () ->
+      push a r8;
+      push a r9;
+      call a "ext4_inode_addr";
+      mov a r8 r0;
+      li a r0 ext4_lock;
+      call a "spin_lock";
+      (* the extent tree is rewritten: the magic is cleared byte by byte
+         (a torn, unaligned channel against the reader's 2-byte load)... *)
+      st a ~size:1 r8 32 (Imm 0);
+      st a ~size:1 r8 33 (Imm 0);
+      if cfg.bug3_ext4_extents then begin
+        (* buggy: lock dropped while the tree is inconsistent *)
+        li a r0 ext4_lock;
+        call a "spin_unlock";
+        li a r0 ext4_lock;
+        call a "spin_lock"
+      end;
+      st a ~size:1 r8 32 (Imm (extent_magic land 0xff));
+      st a ~size:1 r8 33 (Imm (extent_magic lsr 8));
+      (* map the block *)
+      sub a r9 r8 (Imm inodes);
+      Dsl.shr a r9 r9 (Imm 6);
+      shl a r9 r9 (Imm 3);
+      add a r9 r9 (Imm block_map);
+      st a r9 0 (Imm 1);
+      li a r0 ext4_lock;
+      call a "spin_unlock";
+      li a r0 0;
+      pop a r9;
+      pop a r8;
+      ret a);
+
+  (* ext4_truncate(r0 = ino): frees the inode's block (writer of #4). *)
+  func a "ext4_truncate" (fun () ->
+      push a r8;
+      call a "ext4_inode_addr";
+      mov a r8 r0;
+      li a r0 ext4_lock;
+      call a "spin_lock";
+      sub a r8 r8 (Imm inodes);
+      Dsl.shr a r8 r8 (Imm 6);
+      shl a r8 r8 (Imm 3);
+      add a r8 r8 (Imm block_map);
+      st a r8 0 (Imm 0);
+      li a r0 ext4_lock;
+      call a "spin_unlock";
+      li a r0 0;
+      pop a r8;
+      ret a);
+
+  (* ext4_rename(r0 = ino a, r1 = ino b): swap sizes, fix checksums. *)
+  func a "ext4_rename" (fun () ->
+      push a r8;
+      push a r9;
+      push a r10;
+      mov a r10 r1;
+      call a "ext4_inode_addr";
+      mov a r8 r0;
+      mov a r0 r10;
+      call a "ext4_inode_addr";
+      mov a r9 r0;
+      li a r0 ext4_lock;
+      call a "spin_lock";
+      ld a r13 r8 8;
+      ld a r14 r9 8;
+      st a r8 8 (Reg r14);
+      st a r9 8 (Reg r13);
+      mov a r0 r8;
+      call a "ext4_compute_csum";
+      st a r8 24 (Reg r0);
+      mov a r0 r9;
+      call a "ext4_compute_csum";
+      st a r9 24 (Reg r0);
+      li a r0 ext4_lock;
+      call a "spin_unlock";
+      li a r0 0;
+      pop a r10;
+      pop a r9;
+      pop a r8;
+      ret a);
+
+  (* sys_mount(): walk the whole filesystem validating every inode - a
+     deliberately heavy operation (cf. the paper's observation that
+     S-CH-DOUBLE clusters select mount()-style heavy tests). *)
+  func a "sys_mount" (fun () ->
+      let loop = fresh a "loop" and done_ = fresh a "done" in
+      push a r8;
+      li a r8 0;
+      label a loop;
+      bge a r8 (Imm num_inodes) done_;
+      mov a r0 r8;
+      li a r1 0;
+      call a "ext4_file_read";
+      add a r8 r8 (Imm 1);
+      jmp a loop;
+      label a done_;
+      li a r0 0;
+      pop a r8;
+      ret a);
+
+  { ext4_inodes = inodes; block_map }

@@ -1,0 +1,11 @@
+(** Miniature ext4: 8 checksummed inodes, extent-header magics and a
+    block map; hosts the atomicity violations #2, #3 and #4. *)
+
+val num_inodes : int
+val inode_size : int
+val boot_ino : int
+val extent_magic : int
+
+type t = { ext4_inodes : int; block_map : int }
+
+val install : Vmm.Asm.t -> Config.t -> t

@@ -1,0 +1,125 @@
+(* AF_PACKET fanout: #17, fanout_demux_rollover() vs __fanout_unlink().
+
+   The demux path reads the member count and the socket array with plain
+   loads and no lock, while unlink (run from close()) rewrites both under
+   the fanout lock.  The reader can observe a stale count or a shifted
+   array.  The upstream fix converts the reader to READ_ONCE with a
+   bounds re-check, which is what the fixed variant models.
+
+   Group layout (global "fanout"): +0 num_members, +8 arr[0..3]. *)
+
+module Asm = Vmm.Asm
+open Vmm.Isa
+open Dsl
+
+let max_members = 4
+
+type t = { fanout : int }
+
+let install a (cfg : Config.t) =
+  let fanout = Asm.global a "fanout" (8 + (8 * max_members)) in
+  let fanout_lock = Asm.global a "fanout_lock" 8 in
+  let marked = not cfg.bug17_fanout in
+
+  (* fanout_add(r0 = packet socket) *)
+  func a "fanout_add" (fun () ->
+      let full = fresh a "full" in
+      push a r8;
+      mov a r8 r0;
+      li a r0 fanout_lock;
+      call a "spin_lock";
+      li a r14 fanout;
+      ld a r15 r14 0;
+      bge a r15 (Imm max_members) full;
+      shl a r13 r15 (Imm 3);
+      add a r13 r13 (Reg r14);
+      st a r13 8 (Reg r8);
+      add a r15 r15 (Imm 1);
+      st a ~atomic:marked r14 0 (Reg r15);
+      li a r0 fanout_lock;
+      call a "spin_unlock";
+      st a r8 16 (Imm 1) (* membership flag checked by close() *);
+      li a r0 0;
+      pop a r8;
+      ret a;
+      label a full;
+      li a r0 fanout_lock;
+      call a "spin_unlock";
+      li a r0 Abi.einval;
+      pop a r8;
+      ret a);
+
+  (* __fanout_unlink(r0 = packet socket): remove and compact the array. *)
+  func a "__fanout_unlink" (fun () ->
+      let find = fresh a "find" and shift = fresh a "shift" in
+      let out = fresh a "out" and missing = fresh a "missing" in
+      push a r8;
+      push a r9;
+      mov a r8 r0;
+      li a r0 fanout_lock;
+      call a "spin_lock";
+      li a r14 fanout;
+      ld a r9 r14 0 (* n *);
+      li a r13 0 (* i *);
+      label a find;
+      bge a r13 (Reg r9) missing;
+      shl a r15 r13 (Imm 3);
+      add a r15 r15 (Reg r14);
+      ld a r6 r15 8;
+      beq a r6 (Reg r8) shift;
+      add a r13 r13 (Imm 1);
+      jmp a find;
+      label a shift;
+      (* arr[j] = arr[j+1] for j in [i, n-2]; then drop the count *)
+      add a r7 r13 (Imm 1);
+      bge a r7 (Reg r9) out;
+      shl a r15 r7 (Imm 3);
+      add a r15 r15 (Reg r14);
+      ld a r6 r15 8;
+      st a ~atomic:marked r15 0 (Reg r6);
+      mov a r13 r7;
+      jmp a shift;
+      label a out;
+      sub a r9 r9 (Imm 1);
+      st a ~atomic:marked r14 0 (Reg r9);
+      shl a r15 r9 (Imm 3);
+      add a r15 r15 (Reg r14);
+      st a ~atomic:marked r15 8 (Imm 0);
+      label a missing;
+      li a r0 fanout_lock;
+      call a "spin_unlock";
+      st a r8 16 (Imm 0);
+      li a r0 0;
+      pop a r9;
+      pop a r8;
+      ret a);
+
+  (* fanout_demux_rollover(r0 = socket, r1 = len): the lockless reader. *)
+  func a "fanout_demux_rollover" (fun () ->
+      let empty = fresh a "empty" and ok = fresh a "ok" in
+      li a r14 fanout;
+      ld a ~atomic:marked r15 r14 0;
+      beq a r15 (Imm 0) empty;
+      (* idx = len mod num_members *)
+      Asm.emit a (Bin (Div, r13, r1, Reg r15));
+      mul a r13 r13 (Reg r15);
+      sub a r13 r1 (Reg r13);
+      if marked then begin
+        (* fixed: re-check the index against the live count *)
+        ld a ~atomic:true r6 r14 0;
+        blt a r13 (Reg r6) ok;
+        li a r0 0;
+        ret a;
+        label a ok
+      end
+      else ignore ok;
+      shl a r13 r13 (Imm 3);
+      add a r13 r13 (Reg r14);
+      ld a ~atomic:marked r6 r13 8;
+      mov a r0 r6;
+      ret a;
+      label a empty;
+      li a r0 0;
+      ret a);
+
+  { fanout }

@@ -1,0 +1,8 @@
+(** AF_PACKET fanout: issue #17, the lockless demux reader racing the
+    locked member unlink. *)
+
+val max_members : int
+
+type t = { fanout : int }
+
+val install : Vmm.Asm.t -> Config.t -> t

@@ -1,0 +1,89 @@
+(* sys_ioctl: the single entry point behind which most of the paper's
+   writers hide (MAC/MTU changes, block-device tuning, the ext4 boot-swap,
+   uart autoconfig, ALSA control adds, the congestion-control sysctl). *)
+
+module Asm = Vmm.Asm
+open Vmm.Isa
+open Dsl
+
+let install a (cfg : Config.t) =
+  ignore cfg;
+  (* sys_ioctl(r0 = fd, r1 = cmd, r2 = arg) *)
+  func a "sys_ioctl" (fun () ->
+      let bad = fresh a "bad" and out = fresh a "out" in
+      let c_hwset = fresh a "hwset" and c_hwget = fresh a "hwget" in
+      let c_ethtool = fresh a "ethtool" and c_mtu = fresh a "mtu" in
+      let c_delrt = fresh a "delrt" and c_raset = fresh a "raset" in
+      let c_bsz = fresh a "bsz" and c_swap = fresh a "swap" in
+      let c_uart = fresh a "uart" and c_snd = fresh a "snd" in
+      let c_cc = fresh a "cc" in
+      push a r8;
+      push a r9;
+      push a r10;
+      mov a r9 r1;
+      mov a r10 r2;
+      call a "fd_lookup";
+      beq a r0 (Imm 0) bad;
+      mov a r8 r0;
+      beq a r9 (Imm Abi.siocsifhwaddr) c_hwset;
+      beq a r9 (Imm Abi.siocgifhwaddr) c_hwget;
+      beq a r9 (Imm Abi.siocethtool) c_ethtool;
+      beq a r9 (Imm Abi.siocsifmtu) c_mtu;
+      beq a r9 (Imm Abi.siocdelrt) c_delrt;
+      beq a r9 (Imm Abi.blkraset) c_raset;
+      beq a r9 (Imm Abi.blkbszset) c_bsz;
+      beq a r9 (Imm Abi.ext4_ioc_swap_boot) c_swap;
+      beq a r9 (Imm Abi.tiocserconfig) c_uart;
+      beq a r9 (Imm Abi.sndrv_ctl_elem_add) c_snd;
+      beq a r9 (Imm Abi.tcp_set_default_cc) c_cc;
+      li a r0 Abi.einval;
+      jmp a out;
+      label a c_hwset;
+      mov a r0 r10;
+      call a "eth_commit_mac_addr_change";
+      jmp a out;
+      label a c_hwget;
+      mov a r0 r10;
+      call a "dev_ifsioc_locked";
+      jmp a out;
+      label a c_ethtool;
+      mov a r0 r10;
+      call a "e1000_set_mac";
+      jmp a out;
+      label a c_mtu;
+      mov a r0 r10;
+      call a "__dev_set_mtu";
+      jmp a out;
+      label a c_delrt;
+      call a "fib6_clean_node";
+      jmp a out;
+      label a c_raset;
+      mov a r0 r10;
+      call a "blkdev_ioctl_raset";
+      jmp a out;
+      label a c_bsz;
+      mov a r0 r10;
+      call a "set_blocksize";
+      jmp a out;
+      label a c_swap;
+      mov a r0 r10;
+      call a "swap_inode_boot_loader";
+      jmp a out;
+      label a c_uart;
+      call a "uart_do_autoconfig";
+      jmp a out;
+      label a c_snd;
+      mov a r0 r10;
+      call a "snd_ctl_elem_add";
+      jmp a out;
+      label a c_cc;
+      mov a r0 r10;
+      call a "tcp_set_default_congestion_control";
+      jmp a out;
+      label a bad;
+      li a r0 Abi.ebadf;
+      label a out;
+      pop a r10;
+      pop a r9;
+      pop a r8;
+      ret a)

@@ -1,0 +1,5 @@
+(** sys_ioctl: the dispatcher behind which most of the paper's writers
+    hide (MAC/MTU changes, block tuning, the ext4 boot swap, uart
+    autoconfig, ALSA adds, the congestion-control sysctl). *)
+
+val install : Vmm.Asm.t -> Config.t -> unit

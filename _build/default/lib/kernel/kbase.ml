@@ -1,0 +1,206 @@
+(* Core kernel runtime: spinlocks, RCU annotations, the slab allocator and
+   memcpy.  The allocator deliberately reproduces bug #13 of the paper
+   (cache_alloc_refill / free_block): its statistics counter is updated
+   with plain, unlocked read-modify-write sequences, a benign data race
+   that any pair of allocating tests can expose.
+
+   Register conventions used by the runtime:
+   - [spin_lock]/[spin_unlock]/[rcu_*] take the lock address in r0 and
+     clobber only r14/r15;
+   - [kmalloc] takes the size in r0 and returns the object in r0,
+     preserving r8-r11; objects are zeroed;
+   - [kfree] takes address in r0 and size in r1, preserving r8-r11; the
+     first word of a freed object is overwritten by the freelist link,
+     which is what turns use-after-free reads into wild pointers;
+   - [memcpy] takes dst/src/len in r0/r1/r2 and copies byte by byte with
+     plain accesses (this is how the partial-MAC-update race of bug #9
+     becomes observable). *)
+
+module Asm = Vmm.Asm
+module Layout = Vmm.Layout
+open Vmm.Isa
+open Dsl
+
+type t = {
+  kheap_lock : int;
+  kheap_ptr : int;
+  kfreelist : int;
+  slab_stats : int;
+}
+
+let size_class_count = 3
+
+(* Class sizes are 32 << class: 32, 64, 128 bytes. *)
+
+let install a bug13_slab_stats =
+  let kheap_lock = Asm.global a "kheap_lock" 8 in
+  let kheap_ptr = Asm.global_words a "kheap_ptr" [ Layout.kheap_base ] in
+  let kfreelist = Asm.global a "kfreelist" (8 * size_class_count) in
+  let slab_stats = Asm.global a "slab_stats" 8 in
+
+  (* spin_lock(r0 = lock address) *)
+  func a "spin_lock" (fun () ->
+      let retry = fresh a "retry" and acquired = fresh a "acquired" in
+      label a retry;
+      cas a r15 r0 0 (Imm 0) (Imm 1);
+      bne a r15 (Imm 0) acquired;
+      pause a;
+      jmp a retry;
+      label a acquired;
+      hyper a Hlock_acq;
+      ret a);
+
+  (* spin_unlock(r0 = lock address) *)
+  func a "spin_unlock" (fun () ->
+      hyper a Hlock_rel;
+      st a ~atomic:true r0 0 (Imm 0);
+      ret a);
+
+  func a "rcu_read_lock" (fun () ->
+      hyper a Hrcu_lock;
+      ret a);
+
+  func a "rcu_read_unlock" (fun () ->
+      hyper a Hrcu_unlock;
+      ret a);
+
+  (* cache_alloc_refill: slab statistics update on the allocation slow
+     path.  Plain read-modify-write with no lock held: bug #13's writer.
+     The fixed variant uses an atomic fetch-and-add. *)
+  func a "cache_alloc_refill" (fun () ->
+      li a r14 slab_stats;
+      if bug13_slab_stats then begin
+        ld a r15 r14 0;
+        add a r15 r15 (Imm 1);
+        st a r14 0 (Reg r15)
+      end
+      else faa a r15 r14 0 (Imm 1);
+      ret a);
+
+  (* free_block: the matching decrement on the free path. *)
+  func a "free_block" (fun () ->
+      li a r14 slab_stats;
+      if bug13_slab_stats then begin
+        ld a r15 r14 0;
+        sub a r15 r15 (Imm 1);
+        st a r14 0 (Reg r15)
+      end
+      else faa a r15 r14 0 (Imm (-1));
+      ret a);
+
+  (* size_class(r0 = size) -> r0 = class index; clobbers r15 only. *)
+  func a "size_class" (fun () ->
+      let c1 = fresh a "c1" and c2 = fresh a "c2" in
+      ble a r0 (Imm 32) c1;
+      ble a r0 (Imm 64) c2;
+      li a r0 2;
+      ret a;
+      label a c1;
+      li a r0 0;
+      ret a;
+      label a c2;
+      li a r0 1;
+      ret a);
+
+  (* kmalloc(r0 = size) -> r0 = zeroed object *)
+  func a "kmalloc" (fun () ->
+      let bump = fresh a "bump" and got = fresh a "got" in
+      let zloop = fresh a "zloop" and zdone = fresh a "zdone" in
+      push a r8;
+      push a r9;
+      push a r10;
+      push a r11;
+      call a "size_class";
+      mov a r9 r0 (* class *);
+      li a r0 kheap_lock;
+      call a "spin_lock";
+      mov a r10 r9;
+      shl a r10 r10 (Imm 3);
+      add a r10 r10 (Imm kfreelist) (* freelist slot *);
+      ld a r11 r10 0;
+      beq a r11 (Imm 0) bump;
+      (* pop the freelist head *)
+      ld a r13 r11 0;
+      st a r10 0 (Reg r13);
+      mov a r8 r11;
+      jmp a got;
+      label a bump;
+      li a r13 kheap_ptr;
+      ld a r8 r13 0;
+      li a r11 32;
+      shl a r11 r11 (Reg r9);
+      add a r11 r8 (Reg r11);
+      st a r13 0 (Reg r11);
+      label a got;
+      li a r0 kheap_lock;
+      call a "spin_unlock";
+      call a "cache_alloc_refill";
+      (* zero the whole class-sized object *)
+      li a r13 32;
+      shl a r13 r13 (Reg r9);
+      mov a r14 r8;
+      label a zloop;
+      ble a r13 (Imm 0) zdone;
+      st a r14 0 (Imm 0);
+      add a r14 r14 (Imm 8);
+      sub a r13 r13 (Imm 8);
+      jmp a zloop;
+      label a zdone;
+      mov a r0 r8;
+      pop a r11;
+      pop a r10;
+      pop a r9;
+      pop a r8;
+      ret a);
+
+  (* kfree(r0 = object, r1 = size) *)
+  func a "kfree" (fun () ->
+      push a r8;
+      push a r9;
+      mov a r8 r0;
+      mov a r0 r1;
+      call a "size_class";
+      mov a r9 r0;
+      li a r0 kheap_lock;
+      call a "spin_lock";
+      mov a r15 r9;
+      shl a r15 r15 (Imm 3);
+      add a r15 r15 (Imm kfreelist);
+      ld a r14 r15 0;
+      st a r8 0 (Reg r14) (* freelist link poisons word 0 *);
+      st a r15 0 (Reg r8);
+      li a r0 kheap_lock;
+      call a "spin_unlock";
+      call a "free_block";
+      pop a r9;
+      pop a r8;
+      ret a);
+
+  (* memcpy(r0 = dst, r1 = src, r2 = len): plain byte copies. *)
+  func a "memcpy" (fun () ->
+      let loop = fresh a "loop" and done_ = fresh a "done" in
+      label a loop;
+      beq a r2 (Imm 0) done_;
+      ld a ~size:1 r14 r1 0;
+      st a ~size:1 r0 0 (Reg r14);
+      add a r0 r0 (Imm 1);
+      add a r1 r1 (Imm 1);
+      sub a r2 r2 (Imm 1);
+      jmp a loop;
+      label a done_;
+      ret a);
+
+  (* bh_lock_sock(r0 = sock): lock the socket's embedded spinlock at
+     offset 24.  Called with a NULL socket this faults inside the NULL
+     guard page - the crash signature of bug #12. *)
+  func a "bh_lock_sock" (fun () ->
+      add a r0 r0 (Imm 24);
+      call a "spin_lock";
+      ret a);
+
+  func a "bh_unlock_sock" (fun () ->
+      add a r0 r0 (Imm 24);
+      call a "spin_unlock";
+      ret a);
+
+  { kheap_lock; kheap_ptr; kfreelist; slab_stats }

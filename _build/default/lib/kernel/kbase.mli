@@ -1,0 +1,18 @@
+(** Core kernel runtime: spinlocks, RCU annotations, the slab allocator
+    and memcpy, emitted as guest functions.  The allocator's statistics
+    counter reproduces bug #13 (cache_alloc_refill / free_block): plain
+    unlocked read-modify-write unless the fixed variant is selected. *)
+
+type t = {
+  kheap_lock : int;
+  kheap_ptr : int;
+  kfreelist : int;
+  slab_stats : int;  (** the racy counter of bug #13 *)
+}
+
+val size_class_count : int
+(** Allocation size classes: 32, 64 and 128 bytes. *)
+
+val install : Vmm.Asm.t -> bool -> t
+(** [install a bug13] emits the runtime into the image under
+    construction; [bug13] selects the racy statistics updates. *)

@@ -1,0 +1,146 @@
+(* L2TP tunnels: the non-data-race order violation of Figure 1 (bug #12).
+
+   l2tp_tunnel_register() publishes the tunnel on an RCU list *before*
+   initialising tunnel->sock; pppol2tp_connect() running concurrently can
+   retrieve the half-initialised tunnel, and the subsequent sendmsg()'s
+   l2tp_xmit_core() dereferences the NULL socket, panicking the kernel.
+   Every access involved is properly marked or locked, so no data race is
+   reported - only the console oracle catches this one, exactly as in the
+   paper.
+
+   Tunnel layout (32 bytes): +0 next, +8 tunnel_id, +16 sock.
+   Peer socket layout (32 bytes): +0 state, +8 byte count, +24 bh lock. *)
+
+module Asm = Vmm.Asm
+open Vmm.Isa
+open Dsl
+
+type t = { l2tp_tunnel_list : int }
+
+let install a (cfg : Config.t) =
+  let l2tp_tunnel_list = Asm.global a "l2tp_tunnel_list" 8 in
+  let l2tp_list_lock = Asm.global a "l2tp_tunnel_list_lock" 8 in
+
+  (* l2tp_tunnel_get(r0 = tunnel id) -> r0 = tunnel or 0.  RCU reader:
+     list head and next links are rcu_dereference (marked) loads. *)
+  func a "l2tp_tunnel_get" (fun () ->
+      let loop = fresh a "loop" and miss = fresh a "miss" and hit = fresh a "hit" in
+      push a r8;
+      push a r9;
+      mov a r8 r0;
+      call a "rcu_read_lock";
+      li a r14 l2tp_tunnel_list;
+      ld a ~atomic:true r9 r14 0;
+      label a loop;
+      beq a r9 (Imm 0) miss;
+      ld a r14 r9 8;
+      beq a r14 (Reg r8) hit;
+      ld a ~atomic:true r9 r9 0;
+      jmp a loop;
+      label a hit;
+      call a "rcu_read_unlock";
+      mov a r0 r9;
+      pop a r9;
+      pop a r8;
+      ret a;
+      label a miss;
+      call a "rcu_read_unlock";
+      li a r0 0;
+      pop a r9;
+      pop a r8;
+      ret a);
+
+  (* l2tp_tunnel_register(r0 = tunnel id) -> r0 = tunnel.
+
+     Buggy order (as found): allocate tunnel, add to the RCU list under
+     the list lock, and only then allocate and assign tunnel->sock.  The
+     upstream fix initialises the socket before publication. *)
+  func a "l2tp_tunnel_register" (fun () ->
+      push a r8;
+      push a r9;
+      mov a r8 r0;
+      li a r0 32;
+      call a "kmalloc";
+      mov a r9 r0 (* tunnel *);
+      st a r9 8 (Reg r8);
+      if not cfg.bug12_l2tp then begin
+        (* fixed: tunnel->sock set before list_add_rcu *)
+        li a r0 32;
+        call a "kmalloc";
+        st a r0 0 (Imm 99);
+        st a ~atomic:true r9 16 (Reg r0)
+      end;
+      li a r0 l2tp_list_lock;
+      call a "spin_lock";
+      li a r14 l2tp_tunnel_list;
+      ld a r15 r14 0;
+      st a r9 0 (Reg r15);
+      (* list_add_rcu: marked publish of the new head *)
+      st a ~atomic:true r14 0 (Reg r9);
+      li a r0 l2tp_list_lock;
+      call a "spin_unlock";
+      if cfg.bug12_l2tp then begin
+        (* buggy: the tunnel is already visible; sock is still NULL *)
+        li a r0 32;
+        call a "kmalloc";
+        st a r0 0 (Imm 99);
+        st a ~atomic:true r9 16 (Reg r0)
+      end;
+      mov a r0 r9;
+      pop a r9;
+      pop a r8;
+      ret a);
+
+  (* pppol2tp_connect(r0 = pppol2tp socket, r1 = tunnel id): look up the
+     tunnel, creating it if absent, and attach it to the session. *)
+  func a "pppol2tp_connect" (fun () ->
+      let found = fresh a "found" in
+      push a r8;
+      push a r9;
+      mov a r8 r0;
+      mov a r9 r1;
+      mov a r0 r9;
+      call a "l2tp_tunnel_get";
+      bne a r0 (Imm 0) found;
+      mov a r0 r9;
+      call a "l2tp_tunnel_register";
+      label a found;
+      st a r8 16 (Reg r0);
+      li a r0 0;
+      pop a r9;
+      pop a r8;
+      ret a);
+
+  (* pppol2tp_sendmsg(r0 = pppol2tp socket, r1 = len): transmit through
+     the session's tunnel.  l2tp_xmit_core() loads tunnel->sock and locks
+     it - the NULL dereference site of bug #12. *)
+  func a "pppol2tp_sendmsg" (fun () ->
+      let notconn = fresh a "notconn" in
+      push a r8;
+      push a r9;
+      push a r10;
+      mov a r9 r1;
+      ld a r8 r0 16 (* session->tunnel *);
+      beq a r8 (Imm 0) notconn;
+      (* l2tp_xmit_core: struct sock *sk = tunnel->sock *)
+      ld a ~atomic:true r10 r8 16;
+      mov a r0 r10;
+      call a "bh_lock_sock";
+      ld a r14 r10 8;
+      add a r14 r14 (Reg r9);
+      st a r10 8 (Reg r14);
+      mov a r0 r10;
+      call a "bh_unlock_sock";
+      li a r0 0;
+      pop a r10;
+      pop a r9;
+      pop a r8;
+      ret a;
+      label a notconn;
+      li a r0 Abi.einval;
+      pop a r10;
+      pop a r9;
+      pop a r8;
+      ret a);
+
+  { l2tp_tunnel_list }

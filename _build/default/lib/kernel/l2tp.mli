@@ -1,0 +1,7 @@
+(** L2TP tunnels: the order-violation of Figure 1 (issue #12).  The buggy
+    l2tp_tunnel_register publishes the tunnel on the RCU list before
+    initialising tunnel->sock. *)
+
+type t = { l2tp_tunnel_list : int }
+
+val install : Vmm.Asm.t -> Config.t -> t

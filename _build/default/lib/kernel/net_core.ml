@@ -1,0 +1,330 @@
+(* Socket layer and file-descriptor tables.
+
+   Each guest process has its own slice of the fd table (processes are
+   isolated), but socket and file objects live on the shared kernel heap -
+   this is why two sequential tests profiled from the same snapshot touch
+   the same object addresses, which is the property PMC identification
+   relies on (paper section 4.1).
+
+   Socket object layout (32 bytes from kmalloc):
+     +0  domain        (af_inet / af_inet6 / af_packet / px_proto_ol2tp)
+     +8  proto / congestion-control id / byte counter
+     +16 subsystem pointer or flag (l2tp session tunnel, fanout membership)
+     +24 embedded bh lock
+   File object layout (32 bytes):
+     +0  kind (see Abi.path_*: tty / configfs / blockdev / regular)
+     +8  inode number or item pointer
+     +16 position / scratch
+     +24 embedded lock *)
+
+module Asm = Vmm.Asm
+module Layout = Vmm.Layout
+open Vmm.Isa
+open Dsl
+
+(* Emit code computing the current process id from the stack pointer, the
+   same trick as Linux's current_thread_info(): stacks are 8 KiB aligned
+   and consecutive. *)
+let cur_tid a dst =
+  mov a dst sp;
+  sub a dst dst (Imm Layout.stack_area_base);
+  shr a dst dst (Imm 13)
+
+type t = { fdtab : int }
+
+let install a =
+  let fdtab =
+    Asm.global a "fdtab" (8 * Abi.max_fds * Layout.max_threads)
+  in
+
+  (* fd_install(r0 = object) -> r0 = fd or -EINVAL.  Leaf function,
+     clobbers r6, r7, r13-r15. *)
+  func a "fd_install" (fun () ->
+      let loop = fresh a "loop" and full = fresh a "full" and put = fresh a "put" in
+      cur_tid a r14;
+      mul a r14 r14 (Imm (8 * Abi.max_fds));
+      add a r14 r14 (Imm fdtab);
+      li a r13 0;
+      label a loop;
+      bge a r13 (Imm Abi.max_fds) full;
+      mov a r15 r13;
+      shl a r15 r15 (Imm 3);
+      add a r15 r15 (Reg r14);
+      ld a r6 r15 0;
+      beq a r6 (Imm 0) put;
+      add a r13 r13 (Imm 1);
+      jmp a loop;
+      label a put;
+      st a r15 0 (Reg r0);
+      mov a r0 r13;
+      ret a;
+      label a full;
+      li a r0 Abi.einval;
+      ret a);
+
+  (* fd_lookup(r0 = fd) -> r0 = object or 0.  Leaf, clobbers r14, r15. *)
+  func a "fd_lookup" (fun () ->
+      let bad = fresh a "bad" in
+      blt a r0 (Imm 0) bad;
+      bge a r0 (Imm Abi.max_fds) bad;
+      cur_tid a r14;
+      mul a r14 r14 (Imm (8 * Abi.max_fds));
+      add a r14 r14 (Imm fdtab);
+      shl a r15 r0 (Imm 3);
+      add a r15 r15 (Reg r14);
+      ld a r0 r15 0;
+      ret a;
+      label a bad;
+      li a r0 0;
+      ret a);
+
+  (* fd_clear(r0 = fd): empty the slot.  Leaf, clobbers r14, r15. *)
+  func a "fd_clear" (fun () ->
+      cur_tid a r14;
+      mul a r14 r14 (Imm (8 * Abi.max_fds));
+      add a r14 r14 (Imm fdtab);
+      shl a r15 r0 (Imm 3);
+      add a r15 r15 (Reg r14);
+      st a r15 0 (Imm 0);
+      ret a);
+
+  (* sys_socket(r0 = domain, r1 = proto) -> fd *)
+  func a "sys_socket" (fun () ->
+      let nomem = fresh a "nomem" in
+      push a r8;
+      push a r9;
+      mov a r8 r0;
+      mov a r9 r1;
+      li a r0 32;
+      call a "kmalloc";
+      beq a r0 (Imm 0) nomem;
+      st a r0 0 (Reg r8);
+      st a r0 8 (Reg r9);
+      call a "fd_install";
+      pop a r9;
+      pop a r8;
+      ret a;
+      label a nomem;
+      li a r0 Abi.enomem;
+      pop a r9;
+      pop a r8;
+      ret a);
+
+  (* refcount_slot(r0 = object) -> r0 = address of the object's refcount
+     cell: +48 for 64-byte pipes (whose +24 holds the ring lock), +24 for
+     the 32-byte objects.  Leaf, clobbers r14. *)
+  func a "refcount_slot" (fun () ->
+      let fifo = fresh a "fifo" in
+      ld a r14 r0 0;
+      beq a r14 (Imm Abi.kind_fifo) fifo;
+      add a r0 r0 (Imm 24);
+      ret a;
+      label a fifo;
+      add a r0 r0 (Imm 48);
+      ret a);
+
+  (* sys_dup(r0 = fd) -> new fd sharing the same object (Linux dup
+     shares the file description; the reference count is atomic). *)
+  func a "sys_dup" (fun () ->
+      let bad = fresh a "bad" in
+      push a r8;
+      call a "fd_lookup";
+      beq a r0 (Imm 0) bad;
+      mov a r8 r0;
+      call a "refcount_slot";
+      mov a r14 r0;
+      faa a r15 r14 0 (Imm 1);
+      mov a r0 r8;
+      call a "fd_install";
+      pop a r8;
+      ret a;
+      label a bad;
+      li a r0 Abi.ebadf;
+      pop a r8;
+      ret a);
+
+  (* sys_close(r0 = fd): drop the slot; teardown and free only when the
+     last reference goes away. *)
+  func a "sys_close" (fun () ->
+      let bad = fresh a "bad" and free = fresh a "free" in
+      let alive = fresh a "alive" in
+      push a r8;
+      push a r9;
+      mov a r9 r0;
+      call a "fd_lookup";
+      beq a r0 (Imm 0) bad;
+      mov a r8 r0;
+      mov a r0 r9;
+      call a "fd_clear";
+      (* drop a reference; only the last close tears down *)
+      mov a r0 r8;
+      call a "refcount_slot";
+      mov a r14 r0;
+      faa a r15 r14 0 (Imm (-1));
+      bgt a r15 (Imm 0) alive;
+      (* A packet socket that joined a fanout group must be unlinked:
+         this is the writer side of bug #17. *)
+      ld a r14 r8 0;
+      bne a r14 (Imm Abi.af_packet) free;
+      ld a r14 r8 16;
+      beq a r14 (Imm 0) free;
+      mov a r0 r8;
+      call a "__fanout_unlink";
+      label a free;
+      (* pipes are 64-byte objects; everything else closeable is 32 *)
+      let small = fresh a "small" and dofree = fresh a "dofree" in
+      ld a r14 r8 0;
+      li a r1 64;
+      beq a r14 (Imm Abi.kind_fifo) dofree;
+      label a small;
+      li a r1 32;
+      label a dofree;
+      mov a r0 r8;
+      call a "kfree";
+      label a alive;
+      li a r0 0;
+      pop a r9;
+      pop a r8;
+      ret a;
+      label a bad;
+      li a r0 Abi.ebadf;
+      pop a r9;
+      pop a r8;
+      ret a);
+
+  (* sys_connect(r0 = fd, r1 = arg1, r2 = arg2) *)
+  func a "sys_connect" (fun () ->
+      let bad = fresh a "bad" and l2tp = fresh a "l2tp" and inet6 = fresh a "inet6" in
+      let out = fresh a "out" in
+      push a r8;
+      push a r9;
+      push a r10;
+      mov a r9 r1;
+      mov a r10 r2;
+      call a "fd_lookup";
+      beq a r0 (Imm 0) bad;
+      mov a r8 r0;
+      ld a r14 r8 0;
+      beq a r14 (Imm Abi.px_proto_ol2tp) l2tp;
+      beq a r14 (Imm Abi.af_inet6) inet6;
+      li a r0 0;
+      jmp a out;
+      label a l2tp;
+      mov a r0 r8;
+      mov a r1 r9;
+      call a "pppol2tp_connect";
+      jmp a out;
+      label a inet6;
+      mov a r0 r8;
+      call a "fib6_get_cookie_safe";
+      jmp a out;
+      label a bad;
+      li a r0 Abi.ebadf;
+      label a out;
+      pop a r10;
+      pop a r9;
+      pop a r8;
+      ret a);
+
+  (* sys_sendmsg(r0 = fd, r1 = len) *)
+  func a "sys_sendmsg" (fun () ->
+      let bad = fresh a "bad" and l2tp = fresh a "l2tp" and packet = fresh a "packet" in
+      let inet6 = fresh a "inet6" and out = fresh a "out" in
+      push a r8;
+      push a r9;
+      mov a r9 r1;
+      call a "fd_lookup";
+      beq a r0 (Imm 0) bad;
+      mov a r8 r0;
+      ld a r14 r8 0;
+      beq a r14 (Imm Abi.px_proto_ol2tp) l2tp;
+      beq a r14 (Imm Abi.af_packet) packet;
+      beq a r14 (Imm Abi.af_inet6) inet6;
+      (* af_inet & friends: account bytes on the private socket object *)
+      ld a r14 r8 8;
+      add a r14 r14 (Reg r9);
+      st a r8 8 (Reg r14);
+      li a r0 0;
+      jmp a out;
+      label a l2tp;
+      mov a r0 r8;
+      mov a r1 r9;
+      call a "pppol2tp_sendmsg";
+      jmp a out;
+      label a packet;
+      mov a r0 r8;
+      mov a r1 r9;
+      call a "fanout_demux_rollover";
+      jmp a out;
+      label a inet6;
+      mov a r0 r8;
+      mov a r1 r9;
+      call a "rawv6_send_hdrinc";
+      jmp a out;
+      label a bad;
+      li a r0 Abi.ebadf;
+      label a out;
+      pop a r9;
+      pop a r8;
+      ret a);
+
+  (* sys_getsockname(r0 = fd, r1 = user buffer) *)
+  func a "sys_getsockname" (fun () ->
+      let bad = fresh a "bad" and packet = fresh a "packet" and out = fresh a "out" in
+      push a r8;
+      push a r9;
+      mov a r9 r1;
+      call a "fd_lookup";
+      beq a r0 (Imm 0) bad;
+      mov a r8 r0;
+      ld a r14 r8 0;
+      beq a r14 (Imm Abi.af_packet) packet;
+      li a r0 0;
+      jmp a out;
+      label a packet;
+      mov a r0 r9;
+      call a "packet_getname";
+      jmp a out;
+      label a bad;
+      li a r0 Abi.ebadf;
+      label a out;
+      pop a r9;
+      pop a r8;
+      ret a);
+
+  (* sys_setsockopt(r0 = fd, r1 = option, r2 = value) *)
+  func a "sys_setsockopt" (fun () ->
+      let bad = fresh a "bad" and cc = fresh a "cc" and fanout = fresh a "fanout" in
+      let out = fresh a "out" in
+      push a r8;
+      push a r9;
+      push a r10;
+      mov a r9 r1;
+      mov a r10 r2;
+      call a "fd_lookup";
+      beq a r0 (Imm 0) bad;
+      mov a r8 r0;
+      beq a r9 (Imm Abi.so_tcp_congestion) cc;
+      beq a r9 (Imm Abi.so_packet_fanout) fanout;
+      li a r0 Abi.einval;
+      jmp a out;
+      label a cc;
+      mov a r0 r8;
+      mov a r1 r10;
+      call a "tcp_set_congestion_control";
+      jmp a out;
+      label a fanout;
+      ld a r14 r8 0;
+      bne a r14 (Imm Abi.af_packet) bad;
+      mov a r0 r8;
+      call a "fanout_add";
+      jmp a out;
+      label a bad;
+      li a r0 Abi.ebadf;
+      label a out;
+      pop a r10;
+      pop a r9;
+      pop a r8;
+      ret a);
+
+  { fdtab }

@@ -1,0 +1,12 @@
+(** Socket layer and per-process file-descriptor tables.  Objects live on
+    the shared kernel heap, which is why sequential tests profiled from
+    the same snapshot touch the same addresses - the property PMC
+    identification relies on. *)
+
+val cur_tid : Vmm.Asm.t -> Vmm.Isa.reg -> unit
+(** Emit code deriving the current process id from the stack pointer
+    (the current_thread_info() trick). *)
+
+type t = { fdtab : int }
+
+val install : Vmm.Asm.t -> t

@@ -1,0 +1,198 @@
+(* Network device core: the MAC address and MTU of the single guest NIC,
+   plus the fib6 routing cookie.  Hosts four of the paper's issues:
+
+   #7  rawv6_send_hdrinc() reads dev->mtu with a plain load and no lock
+       while __dev_set_mtu() updates it under rtnl_lock.
+   #8  packet_getname() copies dev->dev_addr with no lock while
+       e1000_set_mac() rewrites it under the driver's private lock.
+   #9  dev_ifsioc_locked() copies dev->dev_addr under rcu_read_lock while
+       eth_commit_mac_addr_change() rewrites it under rtnl_lock - both
+       sides locked, but with different locks, so the reader can observe a
+       partially updated MAC (Figure 3 of the paper).
+   #10 fib6_get_cookie_safe() reads the routing cookie that
+       fib6_clean_node() bumps; benign by design (the reader validates).
+
+   Device layout (global "netdev"):
+     +0  dev_addr, 6 bytes
+     +8  mtu
+     +16 scratch *)
+
+module Asm = Vmm.Asm
+open Vmm.Isa
+open Dsl
+
+type t = { netdev : int; rtnl_lock : int; fib6_node : int }
+
+let install a (cfg : Config.t) =
+  let netdev = Asm.global a "netdev" 24 in
+  let rtnl_lock = Asm.global a "rtnl_lock" 8 in
+  let e1000_lock = Asm.global a "e1000_lock" 8 in
+  let fib6_node = Asm.global a "fib6_node" 16 in
+  let fib6_lock = Asm.global a "fib6_lock" 8 in
+
+  (* netdev_init: boot-time defaults (runs before the snapshot). *)
+  func a "netdev_init" (fun () ->
+      li a r14 netdev;
+      li a r15 0xaa;
+      st a ~size:1 r14 0 (Reg r15);
+      st a ~size:1 r14 1 (Imm 0xbb);
+      st a ~size:1 r14 2 (Imm 0xcc);
+      st a ~size:1 r14 3 (Imm 0xdd);
+      st a ~size:1 r14 4 (Imm 0xee);
+      st a ~size:1 r14 5 (Imm 0xff);
+      st a r14 8 (Imm 1500);
+      li a r14 fib6_node;
+      st a r14 0 (Imm 1);
+      ret a);
+
+  (* eth_commit_mac_addr_change(r0 = user source): writer of bug #9.
+     Runs under rtnl_lock; the reader uses a different lock. *)
+  func a "eth_commit_mac_addr_change" (fun () ->
+      push a r8;
+      mov a r8 r0;
+      li a r0 rtnl_lock;
+      call a "spin_lock";
+      li a r0 netdev;
+      mov a r1 r8;
+      li a r2 6;
+      call a "memcpy";
+      li a r0 rtnl_lock;
+      call a "spin_unlock";
+      li a r0 0;
+      pop a r8;
+      ret a);
+
+  (* dev_ifsioc_locked(r0 = user destination): reader of bug #9.  The
+     buggy variant holds only rcu_read_lock (mirroring the pre-patch
+     kernel); the fixed variant takes rtnl_lock like the writer. *)
+  func a "dev_ifsioc_locked" (fun () ->
+      push a r8;
+      mov a r8 r0;
+      if cfg.bug9_ifsioc_mac then call a "rcu_read_lock"
+      else begin
+        li a r0 rtnl_lock;
+        call a "spin_lock"
+      end;
+      mov a r0 r8;
+      li a r1 netdev;
+      li a r2 6;
+      call a "memcpy";
+      if cfg.bug9_ifsioc_mac then call a "rcu_read_unlock"
+      else begin
+        li a r0 rtnl_lock;
+        call a "spin_unlock"
+      end;
+      li a r0 0;
+      pop a r8;
+      ret a);
+
+  (* e1000_set_mac(r0 = user source): writer of bug #8, under the driver
+     lock only.  The fixed variant takes rtnl_lock as well. *)
+  func a "e1000_set_mac" (fun () ->
+      push a r8;
+      mov a r8 r0;
+      li a r0 e1000_lock;
+      call a "spin_lock";
+      if not cfg.bug8_ethtool_mac then begin
+        li a r0 rtnl_lock;
+        call a "spin_lock"
+      end;
+      li a r0 netdev;
+      mov a r1 r8;
+      li a r2 6;
+      call a "memcpy";
+      if not cfg.bug8_ethtool_mac then begin
+        li a r0 rtnl_lock;
+        call a "spin_unlock"
+      end;
+      li a r0 e1000_lock;
+      call a "spin_unlock";
+      li a r0 0;
+      pop a r8;
+      ret a);
+
+  (* packet_getname(r0 = user destination): reader of bug #8; lockless in
+     the buggy variant, under rtnl_lock when fixed.  The whole address
+     (plus padding) is fetched with a single wide load, so against the
+     byte-granular writers this is an unaligned channel - the natural
+     prey of S-CH-UNALIGNED. *)
+  func a "packet_getname" (fun () ->
+      push a r8;
+      mov a r8 r0;
+      if not cfg.bug8_ethtool_mac then begin
+        li a r0 rtnl_lock;
+        call a "spin_lock"
+      end;
+      li a r14 netdev;
+      ld a r15 r14 0;
+      st a r8 0 (Reg r15);
+      if not cfg.bug8_ethtool_mac then begin
+        li a r0 rtnl_lock;
+        call a "spin_unlock"
+      end;
+      li a r0 0;
+      pop a r8;
+      ret a);
+
+  (* __dev_set_mtu(r0 = new mtu): writer of bug #7, under rtnl_lock.  The
+     fix marks the store (WRITE_ONCE). *)
+  func a "__dev_set_mtu" (fun () ->
+      push a r8;
+      mov a r8 r0;
+      li a r0 rtnl_lock;
+      call a "spin_lock";
+      li a r14 netdev;
+      st a ~atomic:(not cfg.bug7_mtu) r14 8 (Reg r8);
+      li a r0 rtnl_lock;
+      call a "spin_unlock";
+      li a r0 0;
+      pop a r8;
+      ret a);
+
+  (* rawv6_send_hdrinc(r0 = sock, r1 = len): reader of bug #7; plain
+     unlocked load of dev->mtu (READ_ONCE when fixed). *)
+  func a "rawv6_send_hdrinc" (fun () ->
+      let toobig = fresh a "toobig" in
+      li a r14 netdev;
+      ld a ~atomic:(not cfg.bug7_mtu) r15 r14 8;
+      bgt a r1 (Reg r15) toobig;
+      (* account the transmitted bytes on the private socket object *)
+      ld a r14 r0 8;
+      add a r14 r14 (Reg r1);
+      st a r0 8 (Reg r14);
+      li a r0 0;
+      ret a;
+      label a toobig;
+      li a r0 Abi.einval;
+      ret a);
+
+  (* fib6_get_cookie_safe(r0 = sock): reader of the benign race #10.  The
+     reader double-checks the cookie, so a stale value is harmless. *)
+  func a "fib6_get_cookie_safe" (fun () ->
+      let stale = fresh a "stale" in
+      li a r14 fib6_node;
+      ld a ~atomic:(not cfg.bug10_fib6_cookie) r15 r14 0;
+      st a r0 16 (Reg r15);
+      ld a ~atomic:(not cfg.bug10_fib6_cookie) r13 r14 0;
+      bne a r13 (Reg r15) stale;
+      li a r0 0;
+      ret a;
+      label a stale;
+      li a r0 0;
+      ret a);
+
+  (* fib6_clean_node(): writer of #10, bumps the cookie under its own
+     lock, which the reader does not take. *)
+  func a "fib6_clean_node" (fun () ->
+      li a r0 fib6_lock;
+      call a "spin_lock";
+      li a r14 fib6_node;
+      ld a ~atomic:(not cfg.bug10_fib6_cookie) r15 r14 0;
+      add a r15 r15 (Imm 1);
+      st a ~atomic:(not cfg.bug10_fib6_cookie) r14 0 (Reg r15);
+      li a r0 fib6_lock;
+      call a "spin_unlock";
+      li a r0 0;
+      ret a);
+
+  { netdev; rtnl_lock; fib6_node }

@@ -1,0 +1,7 @@
+(** Network device core: the NIC's MAC address and MTU plus the fib6
+    routing cookie; hosts issues #7, #8, #9 and #10 of Table 2. *)
+
+type t = { netdev : int; rtnl_lock : int; fib6_node : int }
+(** Addresses of the emitted globals. *)
+
+val install : Vmm.Asm.t -> Config.t -> t

@@ -1,0 +1,117 @@
+(* Pipes: a correctly synchronised ring buffer.
+
+   No planted bug here - deliberately.  Pipes generate rich, realistic
+   shared-memory traffic (ring data, head/tail counters, all from the
+   shared heap), which feeds PMC identification with channels that are
+   real but properly locked; the race detector must stay silent on them
+   however the threads interleave.  This is the substrate's main
+   false-positive check.
+
+   Pipe object (64 bytes from the 128-byte class):
+     +0  kind (Abi.kind_fifo)
+     +8  head (next byte to read)
+     +16 tail (next byte to write)
+     +24 lock
+     +32 data[16] *)
+
+module Asm = Vmm.Asm
+open Vmm.Isa
+open Dsl
+
+let capacity = 16
+
+let install a (cfg : Config.t) =
+  ignore cfg;
+
+  (* sys_pipe() -> fd of a fresh empty pipe. *)
+  func a "sys_pipe" (fun () ->
+      let nomem = fresh a "nomem" in
+      push a r8;
+      li a r0 64;
+      call a "kmalloc";
+      beq a r0 (Imm 0) nomem;
+      mov a r8 r0;
+      st a r8 0 (Imm Abi.kind_fifo);
+      mov a r0 r8;
+      call a "fd_install";
+      pop a r8;
+      ret a;
+      label a nomem;
+      li a r0 Abi.enomem;
+      pop a r8;
+      ret a);
+
+  (* pipe_write(r0 = pipe, r1 = byte value, r2 = count): append up to
+     count bytes while space remains; returns bytes written.  The whole
+     operation holds the pipe lock. *)
+  func a "pipe_write" (fun () ->
+      let loop = fresh a "loop" and full = fresh a "full" in
+      push a r8;
+      push a r9;
+      push a r10;
+      push a r11;
+      mov a r8 r0;
+      mov a r9 r1;
+      mov a r10 r2;
+      li a r11 0 (* written *);
+      add a r0 r8 (Imm 24);
+      call a "spin_lock";
+      label a loop;
+      bge a r11 (Reg r10) full;
+      ld a r14 r8 16 (* tail *);
+      ld a r15 r8 8 (* head *);
+      sub a r13 r14 (Reg r15);
+      bge a r13 (Imm capacity) full;
+      (* data[tail % capacity] = byte *)
+      band a r13 r14 (Imm (capacity - 1));
+      add a r13 r13 (Reg r8);
+      st a ~size:1 r13 32 (Reg r9);
+      add a r14 r14 (Imm 1);
+      st a r8 16 (Reg r14);
+      add a r11 r11 (Imm 1);
+      jmp a loop;
+      label a full;
+      add a r0 r8 (Imm 24);
+      call a "spin_unlock";
+      mov a r0 r11;
+      pop a r11;
+      pop a r10;
+      pop a r9;
+      pop a r8;
+      ret a);
+
+  (* pipe_read(r0 = pipe, r1 = count) -> last byte read (or -1 if the
+     pipe was empty); consumes up to count bytes under the lock. *)
+  func a "pipe_read" (fun () ->
+      let loop = fresh a "loop" and out = fresh a "out" in
+      push a r8;
+      push a r9;
+      push a r10;
+      push a r11;
+      mov a r8 r0;
+      mov a r10 r1;
+      li a r9 (-1) (* last byte *);
+      li a r11 0 (* consumed *);
+      add a r0 r8 (Imm 24);
+      call a "spin_lock";
+      label a loop;
+      bge a r11 (Reg r10) out;
+      ld a r15 r8 8 (* head *);
+      ld a r14 r8 16 (* tail *);
+      bge a r15 (Reg r14) out;
+      band a r13 r15 (Imm (capacity - 1));
+      add a r13 r13 (Reg r8);
+      ld a ~size:1 r9 r13 32;
+      add a r15 r15 (Imm 1);
+      st a r8 8 (Reg r15);
+      add a r11 r11 (Imm 1);
+      jmp a loop;
+      label a out;
+      add a r0 r8 (Imm 24);
+      call a "spin_unlock";
+      mov a r0 r9;
+      pop a r11;
+      pop a r10;
+      pop a r9;
+      pop a r8;
+      ret a)

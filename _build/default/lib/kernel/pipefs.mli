@@ -1,0 +1,8 @@
+(** Pipes: a correctly synchronised ring buffer with no planted bug.
+    Generates rich shared-heap traffic for PMC identification, and serves
+    as the substrate's false-positive check: the race detector must stay
+    silent on pipe operations under any interleaving. *)
+
+val capacity : int
+
+val install : Vmm.Asm.t -> Config.t -> unit

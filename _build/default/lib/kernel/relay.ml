@@ -1,0 +1,127 @@
+(* Relay: a three-thread order violation - the extension workload for
+   section 6 of the paper ("Snowboard should apply to input spaces of
+   more dimensions, e.g., with PMCs of 1 shared write with 2 reads, or
+   PMC chains").
+
+   A producer publishes a message object on slot A *before* initialising
+   its payload pointer (the bug); a forwarder copies slot A to slot B; a
+   consumer dereferences the payload of whatever slot B holds.  The crash
+   needs all three threads inside the producer's initialisation window:
+
+     producer: obj = alloc; slotA := obj;        ...; obj->payload := msg
+     forwarder:              r = slotA; slotB := r
+     consumer:                           c = slotB; *(c->payload)  // NULL!
+
+   Any two of the three threads are safe: the boot state pre-populates
+   both slots with fully initialised objects, so forwarder+consumer and
+   producer+consumer runs never dereference an uninitialised payload.
+   Every access is marked, so this is a pure order violation (no data
+   race), caught only by the console oracle - like bug #12, but one
+   thread deeper.
+
+   Message object layout (32 bytes): +8 payload pointer. *)
+
+module Asm = Vmm.Asm
+open Vmm.Isa
+open Dsl
+
+type t = { relay_slot_a : int; relay_slot_b : int }
+
+let install a (cfg : Config.t) =
+  let slot_a = Asm.global a "relay_slot_a" 8 in
+  let slot_b = Asm.global a "relay_slot_b" 8 in
+  let msg_text = Asm.global_words a "relay_msg_text" [ 0x79616c6572 ] in
+
+  (* relay_alloc_msg() -> r0 = initialised message object. *)
+  func a "relay_alloc_msg" (fun () ->
+      li a r0 32;
+      call a "kmalloc";
+      li a r14 msg_text;
+      st a ~atomic:true r0 8 (Reg r14);
+      ret a);
+
+  (* relay_init: both slots start with complete objects so that any
+     two-thread combination is safe. *)
+  func a "relay_init" (fun () ->
+      push a r8;
+      call a "relay_alloc_msg";
+      mov a r8 r0;
+      li a r14 slot_a;
+      st a ~atomic:true r14 0 (Reg r8);
+      call a "relay_alloc_msg";
+      li a r14 slot_b;
+      st a ~atomic:true r14 0 (Reg r0);
+      pop a r8;
+      ret a);
+
+  (* relay_produce(): publish a fresh message on slot A. *)
+  func a "relay_produce" (fun () ->
+      push a r8;
+      if cfg.bug18_relay then begin
+        (* buggy order: publish first, initialise the payload after *)
+        li a r0 32;
+        call a "kmalloc";
+        mov a r8 r0;
+        li a r14 slot_a;
+        st a ~atomic:true r14 0 (Reg r8);
+        li a r14 msg_text;
+        st a ~atomic:true r8 8 (Reg r14)
+      end
+      else begin
+        call a "relay_alloc_msg";
+        mov a r8 r0;
+        li a r14 slot_a;
+        st a ~atomic:true r14 0 (Reg r8)
+      end;
+      li a r0 0;
+      pop a r8;
+      ret a);
+
+  (* relay_forward(): copy slot A to slot B. *)
+  func a "relay_forward" (fun () ->
+      let empty = fresh a "empty" in
+      li a r14 slot_a;
+      ld a ~atomic:true r15 r14 0;
+      beq a r15 (Imm 0) empty;
+      li a r14 slot_b;
+      st a ~atomic:true r14 0 (Reg r15);
+      li a r0 1;
+      ret a;
+      label a empty;
+      li a r0 0;
+      ret a);
+
+  (* relay_consume() -> first payload byte; dereferences the payload of
+     whatever slot B currently holds - the crash site. *)
+  func a "relay_consume" (fun () ->
+      let empty = fresh a "empty" in
+      li a r14 slot_b;
+      ld a ~atomic:true r15 r14 0;
+      beq a r15 (Imm 0) empty;
+      ld a ~atomic:true r14 r15 8;
+      ld a ~size:1 r0 r14 0;
+      ret a;
+      label a empty;
+      li a r0 0;
+      ret a);
+
+  (* sys_relay(r0 = op: 1 produce, 2 forward, 3 consume) *)
+  func a "sys_relay" (fun () ->
+      let produce = fresh a "produce" and forward = fresh a "forward" in
+      let consume = fresh a "consume" in
+      beq a r0 (Imm 1) produce;
+      beq a r0 (Imm 2) forward;
+      beq a r0 (Imm 3) consume;
+      li a r0 Abi.einval;
+      ret a;
+      label a produce;
+      call a "relay_produce";
+      ret a;
+      label a forward;
+      call a "relay_forward";
+      ret a;
+      label a consume;
+      call a "relay_consume";
+      ret a);
+
+  { relay_slot_a = slot_a; relay_slot_b = slot_b }

@@ -1,0 +1,8 @@
+(** Relay: a three-thread order violation, the extension workload for the
+    paper's section 6 (PMC chains).  A producer publishes before
+    initialising, a forwarder copies the pointer onward, and a consumer
+    dereferences it - the crash needs all three threads in the window. *)
+
+type t = { relay_slot_a : int; relay_slot_b : int }
+
+val install : Vmm.Asm.t -> Config.t -> t

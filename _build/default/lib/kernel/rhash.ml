@@ -1,0 +1,208 @@
+(* SysV message-queue ids over an rhashtable: bug #1 of the paper.
+
+   The bucket word is a tagged pointer whose bit 0 is the bucket lock.
+   The lockless reader path (rht_ptr, called from msgget/ipcget) contains
+   the infamous GCC conditional-with-omitted-operand: at -O2 the compiler
+   emits *two* fetches of the bucket word, assuming they read the same
+   value.  If msgctl(IPC_RMID) concurrently zeroes the bucket between the
+   two fetches (rht_assign_unlock writing an empty chain), the reader
+   walks a NULL object pointer and the key comparison faults in the NULL
+   guard page: "BUG: unable to handle page fault".
+
+   [Config.bug1_rht_double_fetch] selects the -O2 codegen (two fetches);
+   the fixed variant models "-O1 -fno-tree-dominator-opts -fno-tree-fre"
+   (a single fetch, then a null re-check).
+
+   Object layout (32 bytes): +0 next, +8 key, +16 id. *)
+
+module Asm = Vmm.Asm
+open Vmm.Isa
+open Dsl
+
+let num_buckets = 8
+
+type t = { rht_buckets : int }
+
+(* Emit the bucket spin-lock acquisition: on success, r7 holds the
+   untagged old head and the lock bit is set.  Clobbers r7, r13, r14. *)
+let emit_bucket_lock a ~bucket_reg =
+  let lockloop = fresh a "rht_lockloop" and try_ = fresh a "rht_try" in
+  label a lockloop;
+  ld a ~atomic:true r7 bucket_reg 0;
+  band a r13 r7 (Imm 1);
+  beq a r13 (Imm 0) try_;
+  pause a;
+  jmp a lockloop;
+  label a try_;
+  bor a r13 r7 (Imm 1);
+  cas a r14 bucket_reg 0 (Reg r7) (Reg r13);
+  beq a r14 (Imm 0) lockloop
+
+let install a (cfg : Config.t) =
+  let rht_buckets = Asm.global a "rht_buckets" (8 * num_buckets) in
+  let msq_seq = Asm.global_words a "msq_seq" [ 100 ] in
+
+  (* sys_msgget(r0 = key) -> id.  Lockless lookup, insert on miss. *)
+  func a "sys_msgget" (fun () ->
+      let insert = fresh a "insert" and walk = fresh a "walk" in
+      let hit = fresh a "hit" in
+      push a r8;
+      push a r9;
+      push a r10;
+      push a r11;
+      mov a r8 r0;
+      band a r9 r8 (Imm (num_buckets - 1));
+      shl a r9 r9 (Imm 3);
+      add a r9 r9 (Imm rht_buckets);
+      (* rht_ptr: "return bucket-word & ~BIT0 ?: bkt".  The fixed variant
+         is a single rcu_dereference (marked) fetch; the -O2 codegen does
+         two plain fetches, assuming they agree. *)
+      if cfg.bug1_rht_double_fetch then begin
+        ld a r6 r9 0;
+        band a r6 r6 (Imm (-2));
+        beq a r6 (Imm 0) insert;
+        (* -O2 codegen: the value is fetched again, unchecked *)
+        ld a r6 r9 0;
+        band a r6 r6 (Imm (-2))
+      end
+      else begin
+        ld a ~atomic:true r6 r9 0;
+        band a r6 r6 (Imm (-2));
+        beq a r6 (Imm 0) insert
+      end;
+      mov a r10 r6;
+      label a walk;
+      (* memcmp(ptr + ht->p.key_offset, ...): faults when r10 is NULL *)
+      ld a r14 r10 8;
+      beq a r14 (Reg r8) hit;
+      ld a ~atomic:true r10 r10 0 (* rcu_dereference of the next link *);
+      beq a r10 (Imm 0) insert;
+      jmp a walk;
+      label a hit;
+      ld a r0 r10 16;
+      pop a r11;
+      pop a r10;
+      pop a r9;
+      pop a r8;
+      ret a;
+      label a insert;
+      emit_bucket_lock a ~bucket_reg:r9;
+      mov a r11 r7 (* old head, untagged *);
+      li a r0 32;
+      call a "kmalloc";
+      st a r0 8 (Reg r8);
+      li a r13 msq_seq;
+      faa a r14 r13 0 (Imm 1);
+      st a r0 16 (Reg r14);
+      st a r0 0 (Reg r11);
+      (* rht_assign_unlock: marked store publishes the new head and
+         clears the lock bit in one go *)
+      st a ~atomic:true r9 0 (Reg r0);
+      mov a r0 r14;
+      pop a r11;
+      pop a r10;
+      pop a r9;
+      pop a r8;
+      ret a);
+
+  (* sys_msgctl(r0 = id, r1 = cmd). *)
+  func a "sys_msgctl" (fun () ->
+      let rmid = fresh a "rmid" and stat = fresh a "stat" in
+      let bloop = fresh a "bloop" and bdone = fresh a "bdone" in
+      let walk = fresh a "walk" and found = fresh a "found" in
+      let unlock_next = fresh a "unlock_next" and head_rm = fresh a "head_rm" in
+      let freeobj = fresh a "freeobj" in
+      let sloop = fresh a "sloop" and swalk = fresh a "swalk" in
+      let shit = fresh a "shit" and smiss = fresh a "smiss" and snext = fresh a "snext" in
+      beq a r1 (Imm Abi.ipc_rmid) rmid;
+      beq a r1 (Imm Abi.ipc_stat) stat;
+      li a r0 Abi.einval;
+      ret a;
+
+      (* IPC_RMID: scan buckets, unlink the object with this id. *)
+      label a rmid;
+      push a r8;
+      push a r9;
+      push a r10;
+      push a r11;
+      mov a r8 r0;
+      li a r9 rht_buckets;
+      label a bloop;
+      bge a r9 (Imm (rht_buckets + (8 * num_buckets))) bdone;
+      emit_bucket_lock a ~bucket_reg:r9;
+      mov a r11 r7 (* chain head *);
+      li a r10 0 (* prev *);
+      mov a r6 r11 (* cur *);
+      label a walk;
+      beq a r6 (Imm 0) unlock_next;
+      ld a r14 r6 16;
+      beq a r14 (Reg r8) found;
+      mov a r10 r6;
+      ld a r6 r6 0;
+      jmp a walk;
+      label a found;
+      ld a r14 r6 0 (* cur->next *);
+      beq a r10 (Imm 0) head_rm;
+      st a ~atomic:true r10 0 (Reg r14) (* rcu_assign_pointer unlink *);
+      (* restore the head, clearing the lock bit *)
+      st a ~atomic:true r9 0 (Reg r11);
+      jmp a freeobj;
+      label a head_rm;
+      (* the head is removed: rht_assign_unlock writes cur->next, which
+         is ZERO when the chain empties - the write of bug #1 *)
+      st a ~atomic:true r9 0 (Reg r14);
+      label a freeobj;
+      (* kfree_rcu: reclamation waits for a grace period, which is beyond
+         any test's horizon - lockless readers never observe recycled
+         msq objects.  (An immediate kfree here would let the allocator
+         hand the memory to an unrelated thread and manufacture races
+         that the real RCU-deferred kernel cannot exhibit.) *)
+      li a r0 0;
+      pop a r11;
+      pop a r10;
+      pop a r9;
+      pop a r8;
+      ret a;
+      label a unlock_next;
+      st a ~atomic:true r9 0 (Reg r11);
+      add a r9 r9 (Imm 8);
+      jmp a bloop;
+      label a bdone;
+      li a r0 Abi.enoent;
+      pop a r11;
+      pop a r10;
+      pop a r9;
+      pop a r8;
+      ret a;
+
+      (* IPC_STAT: safe lockless scan (single fetch, null-checked). *)
+      label a stat;
+      push a r8;
+      push a r9;
+      mov a r8 r0;
+      li a r9 rht_buckets;
+      label a sloop;
+      bge a r9 (Imm (rht_buckets + (8 * num_buckets))) smiss;
+      ld a ~atomic:true r6 r9 0;
+      band a r6 r6 (Imm (-2));
+      label a swalk;
+      beq a r6 (Imm 0) snext;
+      ld a r14 r6 16;
+      beq a r14 (Reg r8) shit;
+      ld a ~atomic:true r6 r6 0;
+      jmp a swalk;
+      label a snext;
+      add a r9 r9 (Imm 8);
+      jmp a sloop;
+      label a shit;
+      ld a r0 r6 8;
+      pop a r9;
+      pop a r8;
+      ret a;
+      label a smiss;
+      li a r0 Abi.enoent;
+      pop a r9;
+      pop a r8;
+      ret a);
+
+  { rht_buckets }

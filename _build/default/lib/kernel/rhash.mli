@@ -1,0 +1,9 @@
+(** SysV message-queue ids over an rhashtable: the compiler-induced
+    double fetch of Figure 4 (issue #1).  The bucket word is a tagged
+    pointer with bit 0 as the bucket lock. *)
+
+val num_buckets : int
+
+type t = { rht_buckets : int }
+
+val install : Vmm.Asm.t -> Config.t -> t

@@ -1,0 +1,46 @@
+(* ALSA control: #15, snd_ctl_elem_add() accounting.
+
+   The user-controls memory accounting is a plain read-modify-write with
+   the control lock dropped around the allocation, so two concurrent adds
+   lose updates.  Fixed upstream by moving the account under the lock.
+
+   Layout (global "snd_ctl"): +0 user_ctl_count. *)
+
+module Asm = Vmm.Asm
+open Vmm.Isa
+open Dsl
+
+type t = { snd_ctl : int }
+
+let install a (cfg : Config.t) =
+  let ctl = Asm.global a "snd_ctl" 8 in
+  let ctl_lock = Asm.global a "snd_ctl_lock" 8 in
+
+  (* snd_ctl_elem_add(r0 = element value) *)
+  func a "snd_ctl_elem_add" (fun () ->
+      push a r8;
+      push a r9;
+      mov a r9 r0;
+      if not cfg.bug15_snd_ctl then begin
+        li a r0 ctl_lock;
+        call a "spin_lock"
+      end;
+      li a r14 ctl;
+      ld a r8 r14 0;
+      (* the element is allocated while the count sits in a register *)
+      li a r0 32;
+      call a "kmalloc";
+      st a r0 8 (Reg r9);
+      add a r8 r8 (Imm 1);
+      li a r14 ctl;
+      st a r14 0 (Reg r8);
+      if not cfg.bug15_snd_ctl then begin
+        li a r0 ctl_lock;
+        call a "spin_unlock"
+      end;
+      li a r0 0;
+      pop a r9;
+      pop a r8;
+      ret a);
+
+  { snd_ctl = ctl }

@@ -1,0 +1,6 @@
+(** ALSA control: issue #15, racy user-controls memory accounting in
+    snd_ctl_elem_add. *)
+
+type t = { snd_ctl : int }
+
+val install : Vmm.Asm.t -> Config.t -> t

@@ -1,0 +1,37 @@
+(* TCP congestion control: #16, a benign data race on the default
+   congestion-control id between tcp_set_default_congestion_control()
+   (a sysctl-style write) and tcp_set_congestion_control() (a per-socket
+   read).  Both accesses are plain in the buggy kernel; the reader copes
+   with either value, so the race is harmless.
+
+   Layout (global "tcp_ca"): +0 default congestion-control id. *)
+
+module Asm = Vmm.Asm
+open Vmm.Isa
+open Dsl
+
+type t = { tcp_ca : int }
+
+let install a (cfg : Config.t) =
+  let tcp_ca = Asm.global_words a "tcp_ca" [ 1 ] in
+  let marked = not cfg.bug16_tcp_cc in
+
+  (* tcp_set_default_congestion_control(r0 = id) *)
+  func a "tcp_set_default_congestion_control" (fun () ->
+      li a r14 tcp_ca;
+      st a ~atomic:marked r14 0 (Reg r0);
+      li a r0 0;
+      ret a);
+
+  (* tcp_set_congestion_control(r0 = socket, r1 = id; 0 = use default) *)
+  func a "tcp_set_congestion_control" (fun () ->
+      let explicit = fresh a "explicit" in
+      bne a r1 (Imm 0) explicit;
+      li a r14 tcp_ca;
+      ld a ~atomic:marked r1 r14 0;
+      label a explicit;
+      st a r0 8 (Reg r1);
+      li a r0 0;
+      ret a);
+
+  { tcp_ca }

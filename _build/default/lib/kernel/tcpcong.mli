@@ -1,0 +1,6 @@
+(** TCP congestion control: issue #16, a benign data race on the default
+    congestion-control id. *)
+
+type t = { tcp_ca : int }
+
+val install : Vmm.Asm.t -> Config.t -> t

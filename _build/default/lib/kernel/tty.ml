@@ -1,0 +1,57 @@
+(* Serial tty: #14, tty_port_open() vs uart_do_autoconfig().
+
+   The open path updates port->flags under the port mutex; the autoconfig
+   ioctl updates the same flags word under the uart lock instead - two
+   different locks, so the read-modify-write sequences interleave and
+   flag updates are lost.  The upstream fix makes autoconfig take the
+   port mutex.
+
+   Port layout (global "uart_port"): +0 flags, +8 probed type. *)
+
+module Asm = Vmm.Asm
+open Vmm.Isa
+open Dsl
+
+type t = { uart_port : int }
+
+let install a (cfg : Config.t) =
+  let port = Asm.global a "uart_port" 16 in
+  let port_mutex = Asm.global a "uart_port_mutex" 8 in
+  let uart_lock = Asm.global a "uart_lock" 8 in
+
+  (* tty_port_open(): set ASYNC_INITIALIZED in port->flags. *)
+  func a "tty_port_open" (fun () ->
+      li a r0 port_mutex;
+      call a "spin_lock";
+      li a r14 port;
+      ld a r15 r14 0;
+      bor a r15 r15 (Imm 1);
+      st a r14 0 (Reg r15);
+      li a r0 port_mutex;
+      call a "spin_unlock";
+      li a r0 0;
+      ret a);
+
+  (* uart_do_autoconfig(): probe the port and update flags - under the
+     wrong lock in the buggy variant. *)
+  func a "uart_do_autoconfig" (fun () ->
+      let lck = if cfg.bug14_uart then uart_lock else port_mutex in
+      li a r0 lck;
+      call a "spin_lock";
+      li a r14 port;
+      st a r14 8 (Imm 5) (* PORT_16550A *);
+      ld a r15 r14 0;
+      bor a r15 r15 (Imm 2);
+      st a r14 0 (Reg r15);
+      li a r0 lck;
+      call a "spin_unlock";
+      li a r0 0;
+      ret a);
+
+  (* tty_read_status(): a marked, benign read of the port flags. *)
+  func a "tty_read_status" (fun () ->
+      li a r14 port;
+      ld a ~atomic:true r0 r14 0;
+      ret a);
+
+  { uart_port = port }

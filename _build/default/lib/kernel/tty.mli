@@ -1,0 +1,6 @@
+(** Serial tty: issue #14, tty_port_open vs uart_do_autoconfig updating
+    port->flags under different locks. *)
+
+type t = { uart_port : int }
+
+val install : Vmm.Asm.t -> Config.t -> t

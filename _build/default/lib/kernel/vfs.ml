@@ -1,0 +1,220 @@
+(* VFS layer: open/read/write/ftruncate/fadvise/rename/mount dispatch by
+   file kind.  File objects live on the shared heap like sockets do.
+
+   File object layout (32 bytes):
+     +0 kind, +8 inode number or item pointer, +16 scratch. *)
+
+module Asm = Vmm.Asm
+open Vmm.Isa
+open Dsl
+
+let install a (cfg : Config.t) =
+  ignore cfg;
+
+  (* file_create(r0 = kind, r1 = ino) -> fd *)
+  func a "file_create" (fun () ->
+      let nomem = fresh a "nomem" in
+      push a r8;
+      push a r9;
+      mov a r8 r0;
+      mov a r9 r1;
+      li a r0 32;
+      call a "kmalloc";
+      beq a r0 (Imm 0) nomem;
+      st a r0 0 (Reg r8);
+      st a r0 8 (Reg r9);
+      call a "fd_install";
+      pop a r9;
+      pop a r8;
+      ret a;
+      label a nomem;
+      li a r0 Abi.enomem;
+      pop a r9;
+      pop a r8;
+      ret a);
+
+  (* sys_open(r0 = path, r1 = flags) -> fd *)
+  func a "sys_open" (fun () ->
+      let tty = fresh a "tty" and cfs = fresh a "cfs" and blk = fresh a "blk" in
+      let cfs_rm = fresh a "cfs_rm" and cfs_open = fresh a "cfs_open" in
+      let miss = fresh a "miss" in
+      push a r8;
+      push a r9;
+      mov a r8 r0;
+      mov a r9 r1;
+      beq a r8 (Imm Abi.path_tty) tty;
+      beq a r8 (Imm Abi.path_configfs) cfs;
+      beq a r8 (Imm Abi.path_blockdev) blk;
+      (* regular ext4 file *)
+      li a r0 Abi.kind_file;
+      band a r1 r8 (Imm 7);
+      call a "file_create";
+      pop a r9;
+      pop a r8;
+      ret a;
+      label a tty;
+      call a "tty_port_open";
+      li a r0 Abi.kind_tty;
+      li a r1 0;
+      call a "file_create";
+      pop a r9;
+      pop a r8;
+      ret a;
+      label a cfs;
+      band a r14 r9 (Imm Abi.o_create);
+      beq a r14 (Imm 0) cfs_rm;
+      call a "configfs_mkdir";
+      jmp a cfs_open;
+      label a cfs_rm;
+      band a r14 r9 (Imm Abi.o_remove);
+      beq a r14 (Imm 0) cfs_open;
+      call a "configfs_rmdir";
+      pop a r9;
+      pop a r8;
+      ret a;
+      label a cfs_open;
+      call a "configfs_lookup";
+      beq a r0 (Imm 0) miss;
+      mov a r1 r0;
+      li a r0 Abi.kind_configfs;
+      call a "file_create";
+      pop a r9;
+      pop a r8;
+      ret a;
+      label a miss;
+      li a r0 Abi.enoent;
+      pop a r9;
+      pop a r8;
+      ret a;
+      label a blk;
+      li a r0 Abi.kind_blockdev;
+      li a r1 0;
+      call a "file_create";
+      pop a r9;
+      pop a r8;
+      ret a);
+
+  (* sys_read(r0 = fd, r1 = len) *)
+  func a "sys_read" (fun () ->
+      let bad = fresh a "bad" and file = fresh a "file" and blk = fresh a "blk" in
+      let tty = fresh a "tty" and fifo = fresh a "fifo" and out = fresh a "out" in
+      push a r8;
+      push a r9;
+      mov a r9 r1;
+      call a "fd_lookup";
+      beq a r0 (Imm 0) bad;
+      mov a r8 r0;
+      ld a r14 r8 0;
+      beq a r14 (Imm Abi.kind_file) file;
+      beq a r14 (Imm Abi.kind_blockdev) blk;
+      beq a r14 (Imm Abi.kind_tty) tty;
+      beq a r14 (Imm Abi.kind_fifo) fifo;
+      li a r0 Abi.einval;
+      jmp a out;
+      label a fifo;
+      mov a r0 r8;
+      mov a r1 r9;
+      call a "pipe_read";
+      jmp a out;
+      label a file;
+      ld a r0 r8 8;
+      mov a r1 r9;
+      call a "ext4_file_read";
+      jmp a out;
+      label a blk;
+      mov a r0 r8;
+      mov a r1 r9;
+      call a "do_mpage_readpage";
+      jmp a out;
+      label a tty;
+      call a "tty_read_status";
+      jmp a out;
+      label a bad;
+      li a r0 Abi.ebadf;
+      label a out;
+      pop a r9;
+      pop a r8;
+      ret a);
+
+  (* sys_write(r0 = fd, r1 = len) *)
+  func a "sys_write" (fun () ->
+      let bad = fresh a "bad" and file = fresh a "file" and out = fresh a "out" in
+      let other = fresh a "other" in
+      push a r8;
+      push a r9;
+      mov a r9 r1;
+      call a "fd_lookup";
+      beq a r0 (Imm 0) bad;
+      mov a r8 r0;
+      ld a r14 r8 0;
+      beq a r14 (Imm Abi.kind_file) file;
+      bne a r14 (Imm Abi.kind_fifo) other;
+      (* fifo: write r9 bytes of value r9 land 0xff *)
+      mov a r0 r8;
+      band a r1 r9 (Imm 0xff);
+      mov a r2 r9;
+      call a "pipe_write";
+      jmp a out;
+      label a other;
+      (* other kinds: account on the private file object *)
+      ld a r14 r8 16;
+      add a r14 r14 (Reg r9);
+      st a r8 16 (Reg r14);
+      li a r0 0;
+      jmp a out;
+      label a file;
+      ld a r0 r8 8;
+      mov a r1 r9;
+      call a "ext4_extent_write";
+      jmp a out;
+      label a bad;
+      li a r0 Abi.ebadf;
+      label a out;
+      pop a r9;
+      pop a r8;
+      ret a);
+
+  (* sys_ftruncate(r0 = fd) *)
+  func a "sys_ftruncate" (fun () ->
+      let bad = fresh a "bad" and file = fresh a "file" and out = fresh a "out" in
+      push a r8;
+      call a "fd_lookup";
+      beq a r0 (Imm 0) bad;
+      mov a r8 r0;
+      ld a r14 r8 0;
+      beq a r14 (Imm Abi.kind_file) file;
+      li a r0 Abi.einval;
+      jmp a out;
+      label a file;
+      ld a r0 r8 8;
+      call a "ext4_truncate";
+      jmp a out;
+      label a bad;
+      li a r0 Abi.ebadf;
+      label a out;
+      pop a r8;
+      ret a);
+
+  (* sys_fadvise(r0 = fd, r1 = advice) *)
+  func a "sys_fadvise" (fun () ->
+      let bad = fresh a "bad" in
+      push a r8;
+      push a r9;
+      mov a r9 r1;
+      call a "fd_lookup";
+      beq a r0 (Imm 0) bad;
+      mov a r1 r9;
+      call a "generic_fadvise";
+      pop a r9;
+      pop a r8;
+      ret a;
+      label a bad;
+      li a r0 Abi.ebadf;
+      pop a r9;
+      pop a r8;
+      ret a);
+
+  (* sys_rename(r0 = ino a, r1 = ino b) *)
+  func a "sys_rename" (fun () ->
+      call a "ext4_rename";
+      ret a)

@@ -1,0 +1,4 @@
+(** VFS layer: open/read/write/ftruncate/fadvise/rename dispatch by file
+    kind.  File objects live on the shared kernel heap like sockets. *)
+
+val install : Vmm.Asm.t -> Config.t -> unit

@@ -1,0 +1,1 @@
+lib/sched/enumerate.ml: Detectors Exec Fuzzer List Queue Vmm

@@ -1,0 +1,1 @@
+lib/sched/enumerate.mli: Exec Fuzzer

@@ -1,0 +1,1 @@
+lib/sched/exec.ml: Array Char Fuzzer Kernel List String Vmm

@@ -1,0 +1,1 @@
+lib/sched/exec.mli: Fuzzer Kernel Vmm

@@ -1,0 +1,1 @@
+lib/sched/explore.ml: Array Core Detectors Exec Fuzzer List Policies Printf Random Vmm

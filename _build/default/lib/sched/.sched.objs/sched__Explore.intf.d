@@ -1,0 +1,1 @@
+lib/sched/explore.mli: Core Detectors Exec Fuzzer

@@ -1,0 +1,1 @@
+lib/sched/explore3.ml: Array Core Detectors Exec Explore Fuzzer List Policies Random

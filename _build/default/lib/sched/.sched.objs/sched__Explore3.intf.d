@@ -1,0 +1,1 @@
+lib/sched/explore3.mli: Core Detectors Exec Fuzzer

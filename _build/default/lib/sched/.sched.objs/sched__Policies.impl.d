@@ -1,0 +1,1 @@
+lib/sched/policies.ml: Array Core Exec Hashtbl List Random Vmm

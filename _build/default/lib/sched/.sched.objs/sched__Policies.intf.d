@@ -1,0 +1,1 @@
+lib/sched/policies.mli: Core Exec Hashtbl Random Vmm

@@ -1,0 +1,1 @@
+lib/sched/replay.ml: Array Buffer Exec Option Printf String

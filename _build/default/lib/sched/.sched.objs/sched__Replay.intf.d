@@ -1,0 +1,1 @@
+lib/sched/replay.mli: Exec

@@ -1,0 +1,24 @@
+(** CHESS-style bounded exhaustive schedule enumeration (iterative
+    context bounding) over the deterministic executor: every schedule
+    with at most [preemption_bound] preemptions at shared-access
+    boundaries runs exactly once.  Use as a verifier (exhausting the
+    bound proves absence of findings within it) or as a baseline
+    quantifying what PMC hints buy. *)
+
+type result = {
+  executions : int;
+  decision_points : int;  (** of the preemption-free schedule *)
+  issues : int list;
+  first_bug_execution : int option;
+  exhausted : bool;  (** the whole bounded space was covered *)
+}
+
+val run :
+  Exec.env ->
+  writer:Fuzzer.Prog.t ->
+  reader:Fuzzer.Prog.t ->
+  ?preemption_bound:int ->
+  ?max_executions:int ->
+  ?stop_on_bug:bool ->
+  unit ->
+  result

@@ -1,0 +1,375 @@
+(* The test execution framework (paper sections 4.1 and 4.4).
+
+   Runs sequential tests for profiling and concurrent tests under a
+   pluggable scheduling policy.  Every trial starts from the boot
+   snapshot; only one vCPU executes at a time; the policy is consulted
+   after every instruction, and a thread that spins (Pause) is forcibly
+   descheduled - the is_live heuristic of Algorithm 2.
+
+   The executor also maintains a per-thread shadow call stack from the
+   VM's call/return events.  Each access is attributed to the innermost
+   non-helper kernel function, which is what the race detector and the
+   oracle use to name racing code (the stand-in for the paper's
+   post-mortem analysis tools). *)
+
+module Vm = Vmm.Vm
+module Asm = Vmm.Asm
+module Trace = Vmm.Trace
+module Isa = Vmm.Isa
+
+type env = { kern : Kernel.t; vm : Vm.t; snap : Vm.snap }
+
+let make_env cfg =
+  let kern = Kernel.build cfg in
+  let vm, snap = Kernel.boot kern in
+  { kern; vm; snap }
+
+(* Section 4.1: "Snowboard can grow the number of initial kernel states
+   it utilizes to increase diversity."  [with_setup] derives a new
+   environment whose snapshot is taken after running a setup program on
+   vCPU 0 from the parent snapshot - e.g. a state with a tunnel already
+   registered or the filesystem already dirtied.  The setup must be clean
+   (no panic); the guest console is part of the snapshot and stays
+   empty. *)
+let with_setup env (setup : Fuzzer.Prog.t) =
+  let vm = env.vm in
+  Vm.restore vm env.snap;
+  List.iteri
+    (fun i (c : Fuzzer.Prog.call) ->
+      List.iteri
+        (fun j arg ->
+          match arg with
+          | Fuzzer.Prog.Buf s ->
+              let base = Fuzzer.Prog.buf_addr i + (16 * j) in
+              String.iteri
+                (fun k ch -> Vm.poke vm 0 (base + k) 1 (Char.code ch))
+                s
+          | _ -> ())
+        c.args)
+    setup;
+  let retvals = Array.make (List.length setup) (-1) in
+  (try
+     List.iteri
+       (fun i (c : Fuzzer.Prog.call) ->
+         if Vm.panicked vm then raise Exit;
+         let args =
+           List.mapi
+             (fun j a ->
+               match a with
+               | Fuzzer.Prog.Const v -> v
+               | Fuzzer.Prog.Res k -> if k >= 0 && k < i then retvals.(k) else -1
+               | Fuzzer.Prog.Buf _ -> Fuzzer.Prog.buf_addr i + (16 * j))
+             c.args
+         in
+         Vm.start_call vm 0 env.kern.Kernel.syscall_entry args;
+         Vm.set_reg vm 0 Isa.r12 c.nr;
+         let budget = ref 100_000 in
+         let finished = ref false in
+         while not !finished do
+           if !budget <= 0 then raise Exit;
+           decr budget;
+           let evs = Vm.step vm 0 in
+           List.iter
+             (function
+               | Vm.Eret_to_user ->
+                   retvals.(i) <- Vm.reg vm 0 Isa.r0;
+                   finished := true
+               | Vm.Epanic _ | Vm.Ehalt -> finished := true
+               | _ -> ())
+             evs
+         done)
+       setup
+   with Exit -> ());
+  if Vm.panicked vm then invalid_arg "exec: setup program panicked";
+  { env with snap = Vm.snapshot vm }
+
+(* Runtime helpers whose frames are skipped when attributing accesses. *)
+let helper_functions =
+  [
+    "spin_lock"; "spin_unlock"; "rcu_read_lock"; "rcu_read_unlock"; "memcpy";
+    "kmalloc"; "kfree"; "size_class"; "bh_lock_sock"; "bh_unlock_sock";
+    "fd_install"; "fd_lookup"; "fd_clear"; "file_create"; "ext4_inode_addr";
+    "ext4_compute_csum"; "syscall_entry";
+  ]
+
+type observer = { on_access : Trace.access -> ctx:string -> unit }
+
+let null_observer = { on_access = (fun _ ~ctx:_ -> ()) }
+
+(* Shadow call stacks and access attribution. *)
+type frames = { mutable stack : int list }
+
+let attribute image frames pc =
+  let name = Asm.func_name image pc in
+  if not (List.mem name helper_functions) then name
+  else
+    let rec walk = function
+      | [] -> name
+      | f :: rest ->
+          let n = Asm.func_name image f in
+          if List.mem n helper_functions then walk rest else n
+    in
+    walk frames.stack
+
+let update_frames frames = function
+  | Vm.Ecall target -> frames.stack <- target :: frames.stack
+  | Vm.Ereturn -> (
+      match frames.stack with [] -> () | _ :: rest -> frames.stack <- rest)
+  | _ -> ()
+
+(* Install a program's user-space buffers and return an argument resolver.
+   Buffer j of call i lives at [Prog.buf_addr i + 16j]. *)
+let install_buffers vm tid (prog : Fuzzer.Prog.t) =
+  List.iteri
+    (fun i (c : Fuzzer.Prog.call) ->
+      List.iteri
+        (fun j arg ->
+          match arg with
+          | Fuzzer.Prog.Buf s ->
+              let base = Fuzzer.Prog.buf_addr i + (16 * j) in
+              String.iteri
+                (fun k ch -> Vm.poke vm tid (base + k) 1 (Char.code ch))
+                s
+          | _ -> ())
+        c.args)
+    prog
+
+let resolve_arg (retvals : int array) i j = function
+  | Fuzzer.Prog.Const v -> v
+  | Fuzzer.Prog.Res k -> if k >= 0 && k < i then retvals.(k) else -1
+  | Fuzzer.Prog.Buf _ -> Fuzzer.Prog.buf_addr i + (16 * j)
+
+let start_syscall env tid (retvals : int array) i (c : Fuzzer.Prog.call) =
+  let args = List.mapi (fun j a -> resolve_arg retvals i j a) c.args in
+  Vm.start_call env.vm tid env.kern.Kernel.syscall_entry args;
+  Vm.set_reg env.vm tid Isa.r12 c.nr
+
+(* ------------------------------------------------------------------ *)
+(* Sequential execution, used for profiling and fuzzing.               *)
+
+type seq_result = {
+  sq_accesses : Trace.access list;  (* all traced accesses, in order *)
+  sq_console : string list;
+  sq_panicked : bool;
+  sq_retvals : int array;
+  sq_steps : int;
+  sq_edges : (int * int) list;  (* control-flow edges this run covered *)
+}
+
+let syscall_budget = 100_000
+
+let run_seq env ~tid (prog : Fuzzer.Prog.t) =
+  Vm.restore env.vm env.snap;
+  Vm.reset_coverage env.vm;
+  install_buffers env.vm tid prog;
+  let retvals = Array.make (List.length prog) (-1) in
+  let accesses = ref [] in
+  let steps = ref 0 in
+  let frames = { stack = [] } in
+  (try
+     List.iteri
+       (fun i c ->
+         if Vm.panicked env.vm then raise Exit;
+         start_syscall env tid retvals i c;
+         frames.stack <- [];
+         let budget = ref syscall_budget in
+         let finished = ref false in
+         while not !finished do
+           if !budget <= 0 then raise Exit;
+           decr budget;
+           incr steps;
+           let evs = Vm.step env.vm tid in
+           List.iter
+             (fun ev ->
+               update_frames frames ev;
+               match ev with
+               | Vm.Eaccess a -> accesses := a :: !accesses
+               | Vm.Eret_to_user ->
+                   retvals.(i) <- Vm.reg env.vm tid Isa.r0;
+                   finished := true
+               | Vm.Epanic _ | Vm.Ehalt -> finished := true
+               | _ -> ())
+             evs
+         done)
+       prog
+   with Exit -> ());
+  {
+    sq_accesses = List.rev !accesses;
+    sq_console = Vm.console_lines env.vm;
+    sq_panicked = Vm.panicked env.vm;
+    sq_retvals = retvals;
+    sq_steps = !steps;
+    sq_edges = Vm.coverage_edges env.vm;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent execution under a scheduling policy.                     *)
+
+type policy = {
+  first : int;  (* thread scheduled first *)
+  decide : int -> Vm.event list -> bool;  (* switch after this step? *)
+}
+
+type conc_result = {
+  cc_console : string list;
+  cc_panicked : bool;
+  cc_deadlocked : bool;
+  cc_steps : int;
+  cc_switches : int;  (* vCPU switches performed (SKI does many more) *)
+  cc_accesses : Trace.access list array;  (* shared accesses per thread *)
+  cc_retvals : int array array;
+}
+
+type thread_run = {
+  prog : Fuzzer.Prog.call array;
+  retvals : int array;
+  mutable next_call : int;
+  mutable started : bool;  (* has the first syscall been dispatched? *)
+  mutable done_ : bool;
+  frames : frames;
+}
+
+let conc_budget = 400_000
+let pause_limit = 4_096
+
+(* Generalised executor: interleave [progs.(i)] on vCPU i (the paper uses
+   two threads; the section 6 extension uses three).  Exactly one vCPU
+   runs at a time; on a switch request the executor rotates round-robin
+   to the next runnable thread. *)
+let run_multi env ~(progs : Fuzzer.Prog.t array) ~(policy : policy)
+    ?(observer = null_observer) () =
+  let n = Array.length progs in
+  if n < 1 || n > Vmm.Layout.max_threads then
+    invalid_arg "exec: unsupported thread count";
+  Vm.restore env.vm env.snap;
+  Array.iteri (fun tid prog -> install_buffers env.vm tid prog) progs;
+  let mk prog =
+    {
+      prog = Array.of_list prog;
+      retvals = Array.make (List.length prog) (-1);
+      next_call = 0;
+      started = false;
+      done_ = false;
+      frames = { stack = [] };
+    }
+  in
+  let threads = Array.map mk progs in
+  let accesses = Array.init n (fun _ -> ref []) in
+  let image = env.kern.Kernel.image in
+  let steps = ref 0 in
+  let switches = ref 0 in
+  let deadlocked = ref false in
+  let pause_streak = ref 0 in
+  let runnable tid =
+    let th = threads.(tid) in
+    (not th.done_)
+    &&
+    match Vm.cpu_mode env.vm tid with
+    | Vm.Kernel -> true
+    | Vm.User -> th.next_call < Array.length th.prog
+    | Vm.Dead -> (not th.started) && Array.length th.prog > 0
+  in
+  (* the next runnable thread after [tid], or None *)
+  let next_runnable tid =
+    let rec go k =
+      if k > n then None
+      else
+        let cand = (tid + k) mod n in
+        if runnable cand then Some cand else go (k + 1)
+    in
+    go 1
+  in
+  let finish_check tid =
+    let th = threads.(tid) in
+    match Vm.cpu_mode env.vm tid with
+    | Vm.User when th.next_call >= Array.length th.prog -> th.done_ <- true
+    | Vm.Dead when th.started -> th.done_ <- true
+    | _ -> ()
+  in
+  let current = ref (if policy.first >= 0 && policy.first < n then policy.first else 0) in
+  (try
+     while true do
+       if !steps > conc_budget then begin
+         deadlocked := true;
+         raise Exit
+       end;
+       (* pick a runnable thread, preferring the current one *)
+       if not (runnable !current) then begin
+         match next_runnable !current with
+         | Some t -> current := t
+         | None -> raise Exit
+       end;
+       let tid = !current in
+       let th = threads.(tid) in
+       (match Vm.cpu_mode env.vm tid with
+       | Vm.User ->
+           (* start the next system call; this consumes no guest step *)
+           let i = th.next_call in
+           start_syscall env tid th.retvals i th.prog.(i);
+           th.frames.stack <- []
+       | Vm.Dead when not th.started ->
+           th.started <- true;
+           start_syscall env tid th.retvals 0 th.prog.(0);
+           th.frames.stack <- []
+       | Vm.Kernel | Vm.Dead -> ());
+       if Vm.cpu_mode env.vm tid = Vm.Kernel then begin
+         incr steps;
+         let evs = Vm.step env.vm tid in
+         let paused = ref false in
+         List.iter
+           (fun ev ->
+             update_frames th.frames ev;
+             match ev with
+             | Vm.Eaccess a ->
+                 if Trace.is_shared a then begin
+                   accesses.(tid) := a :: !(accesses.(tid));
+                   observer.on_access a ~ctx:(attribute image th.frames a.Trace.pc)
+                 end
+             | Vm.Eret_to_user ->
+                 th.retvals.(th.next_call) <- Vm.reg env.vm tid Isa.r0;
+                 th.next_call <- th.next_call + 1
+             | Vm.Epause -> paused := true
+             | _ -> ())
+           evs;
+         finish_check tid;
+         if Vm.panicked env.vm then raise Exit;
+         let want = policy.decide tid evs in
+         if !paused then begin
+           (* the is_live heuristic: a spinning thread must yield *)
+           match next_runnable tid with
+           | Some t ->
+               pause_streak := 0;
+               incr switches;
+               current := t
+           | None ->
+               incr pause_streak;
+               if !pause_streak > pause_limit then begin
+                 deadlocked := true;
+                 raise Exit
+               end
+         end
+         else begin
+           pause_streak := 0;
+           if want then
+             match next_runnable tid with
+             | Some t ->
+                 incr switches;
+                 current := t
+             | None -> ()
+         end
+       end
+     done
+   with Exit -> ());
+  {
+    cc_console = Vm.console_lines env.vm;
+    cc_panicked = Vm.panicked env.vm;
+    cc_deadlocked = !deadlocked;
+    cc_steps = !steps;
+    cc_switches = !switches;
+    cc_accesses = Array.map (fun r -> List.rev !r) accesses;
+    cc_retvals = Array.map (fun th -> th.retvals) threads;
+  }
+
+let run_conc env ~(writer : Fuzzer.Prog.t) ~(reader : Fuzzer.Prog.t)
+    ~(policy : policy) ?(observer = null_observer) () =
+  run_multi env ~progs:[| writer; reader |] ~policy ~observer ()

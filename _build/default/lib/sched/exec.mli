@@ -1,0 +1,86 @@
+(** The test execution framework (paper sections 4.1 and 4.4): runs
+    sequential tests for profiling and fuzzing, and concurrent tests
+    under a pluggable scheduling policy, all from the boot snapshot.
+
+    The executor also maintains per-thread shadow call stacks and
+    attributes every access to the innermost non-helper kernel function,
+    which is how the race detector and the oracle name racing code. *)
+
+type env = { kern : Kernel.t; vm : Vmm.Vm.t; snap : Vmm.Vm.snap }
+
+val make_env : Kernel.Config.t -> env
+(** Build the kernel image, boot it and snapshot the booted state. *)
+
+val with_setup : env -> Fuzzer.Prog.t -> env
+(** A derived environment whose snapshot is taken after running a setup
+    program from the parent snapshot (section 4.1's "grow the number of
+    initial kernel states").  Raises [Invalid_argument] if the setup
+    program panics. *)
+
+val helper_functions : string list
+(** Runtime helpers (memcpy, locks, allocator internals, ...) skipped by
+    access attribution. *)
+
+type observer = { on_access : Vmm.Trace.access -> ctx:string -> unit }
+(** Called for every shared kernel access with its attributed function. *)
+
+val null_observer : observer
+
+type seq_result = {
+  sq_accesses : Vmm.Trace.access list;  (** all traced accesses in order *)
+  sq_console : string list;
+  sq_panicked : bool;
+  sq_retvals : int array;
+  sq_steps : int;
+  sq_edges : (int * int) list;  (** control-flow edges covered *)
+}
+
+val syscall_budget : int
+(** Instruction budget per system call; exceeding it aborts the test. *)
+
+val run_seq : env -> tid:int -> Fuzzer.Prog.t -> seq_result
+(** Restore the snapshot and run the program to completion on one vCPU. *)
+
+type policy = {
+  first : int;  (** thread scheduled first *)
+  decide : int -> Vmm.Vm.event list -> bool;
+      (** called after every step with the thread and its events; [true]
+          requests a switch to the other thread *)
+}
+
+type conc_result = {
+  cc_console : string list;
+  cc_panicked : bool;
+  cc_deadlocked : bool;
+  cc_steps : int;
+  cc_switches : int;  (** vCPU switches performed *)
+  cc_accesses : Vmm.Trace.access list array;  (** shared accesses per thread *)
+  cc_retvals : int array array;
+}
+
+val conc_budget : int
+(** Global instruction budget for one concurrent trial. *)
+
+val run_multi :
+  env ->
+  progs:Fuzzer.Prog.t array ->
+  policy:policy ->
+  ?observer:observer ->
+  unit ->
+  conc_result
+(** Restore the snapshot and interleave one program per vCPU (up to
+    [Vmm.Layout.max_threads]; the paper uses two, the section 6 extension
+    three).  On a switch request the executor rotates round-robin to the
+    next runnable thread.  A spinning thread (Pause) is forcibly
+    descheduled (the is_live heuristic); a panic ends the trial. *)
+
+val run_conc :
+  env ->
+  writer:Fuzzer.Prog.t ->
+  reader:Fuzzer.Prog.t ->
+  policy:policy ->
+  ?observer:observer ->
+  unit ->
+  conc_result
+(** [run_multi] specialised to the paper's two-thread setting: the
+    writer on vCPU 0, the reader on vCPU 1. *)

@@ -1,0 +1,180 @@
+(* Interleaving exploration of one concurrent test: the outer loop of
+   Algorithm 2.  Each trial reseeds the RNG with SEED + trial (line 5),
+   restores the boot snapshot and runs the two tests under the chosen
+   scheduler, with the race detector and the console checker attached.
+   After a trial, incidental PMCs - other identified PMCs whose write and
+   read both occurred, in opposite threads - are added to the set under
+   test, one random pick per trial (lines 26-27). *)
+
+module Trace = Vmm.Trace
+
+type kind =
+  | Snowboard  (* Algorithm 2 with the PMC as scheduling hint *)
+  | Ski  (* instruction-triggered yields, no memory-target check *)
+  | Naive of int  (* random preemption with the given period *)
+  | Pct of int  (* PCT with this depth; change points over ~1000 steps *)
+
+let kind_name = function
+  | Snowboard -> "snowboard"
+  | Ski -> "ski"
+  | Naive n -> Printf.sprintf "naive/%d" n
+  | Pct d -> Printf.sprintf "pct/%d" d
+
+let pct_est_len = 1_000
+
+type trial = {
+  findings : Detectors.Oracle.finding list;
+  issues : int list;
+  exercised : bool;  (* the hinted PMC channel actually occurred *)
+  steps : int;
+}
+
+type result = {
+  trials : trial list;
+  first_bug : int option;  (* 1-based index of the first buggy trial *)
+  any_exercised : bool;  (* the hinted channel occurred in some trial *)
+  any_pmc_observed : bool;
+      (* some identified PMC (hinted or not) had its write and read occur
+         in opposite threads during some trial *)
+  total_steps : int;
+  total_switches : int;
+}
+
+(* Did the hinted communication happen?  The write side must occur in the
+   writer thread and a matching read in the reader thread must observe a
+   value different from its sequential profile - a conservative proxy for
+   the paper's "actually exercised the memory channel" (section 5.3.2). *)
+let channel_exercised hint (res : Exec.conc_result) =
+  match hint with
+  | None -> false
+  | Some pmc ->
+      let wrote =
+        List.exists
+          (fun a -> Core.Pmc.matches_write pmc a)
+          res.Exec.cc_accesses.(0)
+      in
+      let read_changed =
+        List.exists
+          (fun a ->
+            Core.Pmc.matches_read pmc a
+            && a.Trace.value <> pmc.Core.Pmc.read.Core.Pmc.value)
+          res.Exec.cc_accesses.(1)
+      in
+      wrote && read_changed
+
+let default_trials = 64
+
+(* Explore one concurrent test for up to [trials] interleavings. *)
+let run (env : Exec.env) ~(ident : Core.Identify.t option)
+    ~(writer : Fuzzer.Prog.t) ~(reader : Fuzzer.Prog.t)
+    ~(hint : Core.Pmc.t option) ~(kind : kind) ?(trials = default_trials)
+    ~(seed : int) ?(stop_on_bug = true) ?(target_issue = None) () =
+  let st = Policies.snowboard_state hint in
+  let trial_results = ref [] in
+  let first_bug = ref None in
+  let any_exercised = ref false in
+  let any_pmc_observed = ref false in
+  let total_steps = ref 0 in
+  let total_switches = ref 0 in
+  (try
+     for trial = 0 to trials - 1 do
+       let rng = Random.State.make [| seed + trial |] in
+       let policy =
+         match kind with
+         | Snowboard -> Policies.snowboard rng st
+         | Ski -> Policies.ski rng hint
+         | Naive period -> Policies.naive rng ~period
+         | Pct depth -> Policies.pct rng ~depth ~est_len:pct_est_len
+       in
+       let race = Detectors.Race.create () in
+       let observer =
+         {
+           Exec.on_access =
+             (fun a ~ctx -> Detectors.Race.on_access race a ~ctx);
+         }
+       in
+       let res = Exec.run_conc env ~writer ~reader ~policy ~observer () in
+       let findings =
+         Detectors.Oracle.analyze ~console:res.Exec.cc_console
+           ~races:(Detectors.Race.reports race)
+           ~deadlocked:res.Exec.cc_deadlocked
+       in
+       let issues = Detectors.Oracle.issues findings in
+       let exercised = channel_exercised hint res in
+       if exercised then any_exercised := true;
+       total_steps := !total_steps + res.Exec.cc_steps;
+       total_switches := !total_switches + res.Exec.cc_switches;
+       trial_results :=
+         { findings; issues; exercised; steps = res.Exec.cc_steps }
+         :: !trial_results;
+       let hit =
+         match target_issue with
+         | Some id -> List.mem id issues
+         | None -> findings <> []
+       in
+       if hit && !first_bug = None then begin
+         first_bug := Some (trial + 1);
+         if stop_on_bug then raise Exit
+       end;
+       (* incidental PMC discovery (Algorithm 2 lines 26-27).  The set of
+          incidental PMCs also feeds the accuracy statistics: a trial
+          "observed" a PMC when the write and read occurred in opposite
+          threads, whether hinted or not. *)
+       (match ident with
+       | Some ident ->
+           let exclude p =
+             List.exists (Core.Pmc.equal p) st.Policies.current_pmcs
+           in
+           let writes tid =
+             List.filter
+               (fun a -> a.Trace.kind = Trace.Write)
+               res.Exec.cc_accesses.(tid)
+           in
+           let reads tid =
+             List.filter
+               (fun a -> a.Trace.kind = Trace.Read)
+               res.Exec.cc_accesses.(tid)
+           in
+           let incidental =
+             Core.Identify.find_incidental ident ~writes:(writes 0)
+               ~reads:(reads 1) ~exclude
+             @ Core.Identify.find_incidental ident ~writes:(writes 1)
+                 ~reads:(reads 0) ~exclude
+           in
+           (match incidental with
+           | [] -> ()
+           | l ->
+               (* for the accuracy statistic, require the communication
+                  to have happened: some matching read observed a value
+                  different from its sequential profile *)
+               let all_reads = reads 0 @ reads 1 in
+               if
+                 List.exists
+                   (fun p ->
+                     List.exists
+                       (fun a ->
+                         Core.Pmc.matches_read p a
+                         && a.Trace.value <> p.Core.Pmc.read.Core.Pmc.value)
+                       all_reads)
+                   l
+               then any_pmc_observed := true;
+               if kind = Snowboard then
+                 let p = List.nth l (Random.State.int rng (List.length l)) in
+                 Policies.add_pmc st p)
+       | None -> ())
+     done
+   with Exit -> ());
+  {
+    trials = List.rev !trial_results;
+    first_bug = !first_bug;
+    any_exercised = !any_exercised;
+    any_pmc_observed = !any_pmc_observed || !any_exercised;
+    total_steps = !total_steps;
+    total_switches = !total_switches;
+  }
+
+(* All distinct issues seen across the trials of a result. *)
+let issues_found r =
+  List.concat_map (fun t -> t.issues) r.trials |> List.sort_uniq compare
+
+let findings_found r = List.concat_map (fun t -> t.findings) r.trials

@@ -1,0 +1,59 @@
+(** Interleaving exploration of one concurrent test: the outer loop of
+    Algorithm 2.  Each trial reseeds the RNG with SEED + trial, restores
+    the boot snapshot and runs the two tests under the chosen scheduler
+    with the race detector and console checker attached; incidental PMCs
+    discovered in a trial join the set under test. *)
+
+type kind =
+  | Snowboard  (** Algorithm 2 with the PMC as scheduling hint *)
+  | Ski  (** instruction-triggered yields, no memory-target check *)
+  | Naive of int  (** random preemption with the given period *)
+  | Pct of int  (** PCT with this depth (change points over ~1000 steps) *)
+
+val kind_name : kind -> string
+
+type trial = {
+  findings : Detectors.Oracle.finding list;
+  issues : int list;
+  exercised : bool;  (** the hinted PMC channel actually occurred *)
+  steps : int;
+}
+
+type result = {
+  trials : trial list;
+  first_bug : int option;  (** 1-based index of the first buggy trial *)
+  any_exercised : bool;
+  any_pmc_observed : bool;
+      (** some identified PMC (hinted or not) had its write and read
+          occur in opposite threads during some trial *)
+  total_steps : int;
+  total_switches : int;
+}
+
+val channel_exercised : Core.Pmc.t option -> Exec.conc_result -> bool
+(** Section 5.3.2's accuracy proxy: the hinted write occurred in the
+    writer thread and a matching read in the reader thread saw a value
+    different from its sequential profile. *)
+
+val default_trials : int
+(** 64, the paper's per-PMC trial cap. *)
+
+val run :
+  Exec.env ->
+  ident:Core.Identify.t option ->
+  writer:Fuzzer.Prog.t ->
+  reader:Fuzzer.Prog.t ->
+  hint:Core.Pmc.t option ->
+  kind:kind ->
+  ?trials:int ->
+  seed:int ->
+  ?stop_on_bug:bool ->
+  ?target_issue:int option ->
+  unit ->
+  result
+(** Explore up to [trials] interleavings.  With [stop_on_bug], stop at
+    the first finding (or at the first [target_issue] hit if given). *)
+
+val issues_found : result -> int list
+
+val findings_found : result -> Detectors.Oracle.finding list

@@ -1,0 +1,70 @@
+(* Three-thread interleaving exploration over a PMC chain: the section 6
+   extension.  The trial loop mirrors [Explore.run] but drives three
+   programs on three vCPUs with *both* chain PMCs under test, so
+   Algorithm 2's performed_pmc_access/flags machinery steers all three
+   threads toward the chained communication. *)
+
+type trial = {
+  findings : Detectors.Oracle.finding list;
+  issues : int list;
+  steps : int;
+}
+
+type result = {
+  trials : trial list;
+  first_bug : int option;
+  total_steps : int;
+}
+
+let run (env : Exec.env) ~(progs : Fuzzer.Prog.t array)
+    ~(chain : Core.Chain.t option) ?(trials = Explore.default_trials)
+    ~(seed : int) ?(stop_on_bug = true) () =
+  let hints =
+    match chain with
+    | Some ch -> [ ch.Core.Chain.first; ch.Core.Chain.second ]
+    | None -> []
+  in
+  let st = Policies.snowboard_state ~nthreads:(Array.length progs) None in
+  List.iter (Policies.add_pmc st) hints;
+  let trial_results = ref [] in
+  let first_bug = ref None in
+  let total_steps = ref 0 in
+  (try
+     for trial = 0 to trials - 1 do
+       let rng = Random.State.make [| seed + trial |] in
+       let inner = Policies.snowboard rng st in
+       let policy =
+         {
+           inner with
+           Exec.first = Random.State.int rng (Array.length progs);
+         }
+       in
+       let race = Detectors.Race.create ~nthreads:(Array.length progs) () in
+       let observer =
+         { Exec.on_access = (fun a ~ctx -> Detectors.Race.on_access race a ~ctx) }
+       in
+       let res = Exec.run_multi env ~progs ~policy ~observer () in
+       let findings =
+         Detectors.Oracle.analyze ~console:res.Exec.cc_console
+           ~races:(Detectors.Race.reports race)
+           ~deadlocked:res.Exec.cc_deadlocked
+       in
+       let issues = Detectors.Oracle.issues findings in
+       total_steps := !total_steps + res.Exec.cc_steps;
+       trial_results := { findings; issues; steps = res.Exec.cc_steps } :: !trial_results;
+       if findings <> [] && !first_bug = None then begin
+         first_bug := Some (trial + 1);
+         if stop_on_bug then raise Exit
+       end
+     done
+   with Exit -> ());
+  {
+    trials = List.rev !trial_results;
+    first_bug = !first_bug;
+    total_steps = !total_steps;
+  }
+
+let issues_found r =
+  List.concat_map (fun t -> t.issues) r.trials |> List.sort_uniq compare
+
+let findings_found r = List.concat_map (fun t -> t.findings) r.trials

@@ -1,0 +1,29 @@
+(** Three-thread interleaving exploration over a PMC chain (the paper's
+    section 6 extension): three programs on three vCPUs with both chain
+    PMCs as scheduling hints. *)
+
+type trial = {
+  findings : Detectors.Oracle.finding list;
+  issues : int list;
+  steps : int;
+}
+
+type result = {
+  trials : trial list;
+  first_bug : int option;  (** 1-based index of the first buggy trial *)
+  total_steps : int;
+}
+
+val run :
+  Exec.env ->
+  progs:Fuzzer.Prog.t array ->
+  chain:Core.Chain.t option ->
+  ?trials:int ->
+  seed:int ->
+  ?stop_on_bug:bool ->
+  unit ->
+  result
+
+val issues_found : result -> int list
+
+val findings_found : result -> Detectors.Oracle.finding list

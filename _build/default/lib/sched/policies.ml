@@ -1,0 +1,116 @@
+(* Scheduling policies for concurrent trials.
+
+   - [snowboard]: Algorithm 2.  The policy watches for accesses that match
+     a PMC under test (performed_pmc_access) and for accesses previously
+     observed right before a PMC access (pmc_access_coming, via the flags
+     set), and switches threads non-deterministically at exactly those
+     points.
+   - [ski]: the SKI baseline exactly as characterised in section 5.4:
+     "SKI yields thread execution whenever it observes the write or read
+     instruction involved in a PMC (regardless of memory targets), while
+     Snowboard only reschedules execution when it observes a precise PMC
+     write or read access."  Without target filtering SKI cannot build
+     the flags set either, so it needs far more interleavings to land on
+     narrow windows (the 84x of the paper).
+   - [naive]: sparse uniformly random preemption at shared accesses, used
+     for the Random/Duplicate pairing baselines. *)
+
+module Vm = Vmm.Vm
+module Trace = Vmm.Trace
+
+(* Mutable state Algorithm 2 persists across the trials of one concurrent
+   test: the PMCs under test (line 6, grown by incidental discovery at
+   line 27) and the flags set (line 20). *)
+type snowboard_state = {
+  mutable current_pmcs : Core.Pmc.t list;
+  flags : (int * Trace.kind * int, unit) Hashtbl.t;
+  last_access : (int * Trace.kind * int) option array;
+}
+
+let snowboard_state ?(nthreads = 2) hint =
+  {
+    current_pmcs = (match hint with Some p -> [ p ] | None -> []);
+    flags = Hashtbl.create 64;
+    last_access = Array.make nthreads None;
+  }
+
+let add_pmc st pmc =
+  if not (List.exists (Core.Pmc.equal pmc) st.current_pmcs) then
+    st.current_pmcs <- pmc :: st.current_pmcs
+
+let signature (a : Trace.access) = (a.Trace.pc, a.Trace.kind, a.Trace.addr)
+
+let snowboard rng (st : snowboard_state) : Exec.policy =
+  let decide tid evs =
+    let switch = ref false in
+    List.iter
+      (fun ev ->
+        match ev with
+        | Vm.Eaccess a when Trace.is_shared a ->
+            let siga = signature a in
+            if List.exists (fun p -> Core.Pmc.matches p a) st.current_pmcs then begin
+              (* performed_pmc_access: remember the preceding access as a
+                 flag for future trials, then maybe reschedule *)
+              (match st.last_access.(tid) with
+              | Some s -> Hashtbl.replace st.flags s ()
+              | None -> ());
+              if Random.State.bool rng then switch := true
+            end
+            else if Hashtbl.mem st.flags siga then
+              (* pmc_access_coming: the PMC access is imminent *)
+              if Random.State.bool rng then switch := true;
+            st.last_access.(tid) <- Some siga
+        | _ -> ())
+      evs;
+    !switch
+  in
+  { Exec.first = (if Random.State.bool rng then 1 else 0); decide }
+
+let ski rng (hint : Core.Pmc.t option) : Exec.policy =
+  let ins =
+    match hint with
+    | Some p -> [ p.Core.Pmc.write.Core.Pmc.ins; p.Core.Pmc.read.Core.Pmc.ins ]
+    | None -> []
+  in
+  let decide _tid evs =
+    let switch = ref false in
+    List.iter
+      (fun ev ->
+        match ev with
+        | Vm.Eaccess a when List.mem a.Trace.pc ins ->
+            if Random.State.bool rng then switch := true
+        | _ -> ())
+      evs;
+    !switch
+  in
+  { Exec.first = (if Random.State.bool rng then 1 else 0); decide }
+
+(* PCT (Burckhardt et al.), the algorithm SKI generalises: with two
+   threads, the priority order is fully determined by who currently runs,
+   so a depth-d PCT schedule is "run the current thread until one of d-1
+   randomly chosen change points, then swap priorities".  Change points
+   are step indices drawn from an estimated execution length. *)
+let pct rng ~depth ~est_len : Exec.policy =
+  let change_points =
+    List.init (max 0 (depth - 1)) (fun _ -> Random.State.int rng (max 1 est_len))
+  in
+  let step = ref 0 in
+  let decide _tid _evs =
+    incr step;
+    List.mem !step change_points
+  in
+  { Exec.first = (if Random.State.bool rng then 1 else 0); decide }
+
+let naive rng ~period : Exec.policy =
+  let decide _tid evs =
+    let switch = ref false in
+    List.iter
+      (fun ev ->
+        match ev with
+        | Vm.Eaccess a when Trace.is_shared a ->
+            if Random.State.int rng period = 0 then switch := true
+        | _ -> ())
+      evs;
+    !switch
+  in
+  { Exec.first = (if Random.State.bool rng then 1 else 0); decide }

@@ -1,0 +1,75 @@
+(* Deterministic bug reproduction (paper section 6, "Bug Diagnosis and
+   Deterministic Reproduction").
+
+   The guest machine is deterministic; the only non-determinism in a
+   trial is the scheduling policy's switch decisions.  [record] wraps a
+   policy and captures every decision; [replay] re-applies a captured
+   trace verbatim, so a bug-triggering interleaving can be re-executed
+   exactly - under a debugger, with extra observers, or against a
+   patched kernel to confirm a fix. *)
+
+type trace = { t_first : int; t_decisions : bool array }
+
+type recorder = { policy : Exec.policy; finish : unit -> trace }
+
+(* Wrap a policy, capturing its decisions. *)
+let record (inner : Exec.policy) =
+  let buf = Buffer.create 256 in
+  let decide tid evs =
+    let d = inner.Exec.decide tid evs in
+    Buffer.add_char buf (if d then '1' else '0');
+    d
+  in
+  {
+    policy = { Exec.first = inner.Exec.first; decide };
+    finish =
+      (fun () ->
+        let s = Buffer.contents buf in
+        {
+          t_first = inner.Exec.first;
+          t_decisions = Array.init (String.length s) (fun i -> s.[i] = '1');
+        });
+  }
+
+(* Re-apply a captured trace.  Decisions beyond the trace length default
+   to "no switch" (they can only be reached if the execution diverged,
+   which the deterministic guest rules out for an unchanged kernel). *)
+let replay (t : trace) : Exec.policy =
+  let idx = ref 0 in
+  let decide _tid _evs =
+    if !idx < Array.length t.t_decisions then begin
+      let d = t.t_decisions.(!idx) in
+      incr idx;
+      d
+    end
+    else false
+  in
+  { Exec.first = t.t_first; decide }
+
+let length t = Array.length t.t_decisions
+
+let num_switches t =
+  Array.fold_left (fun n d -> if d then n + 1 else n) 0 t.t_decisions
+
+(* Serialise for storage alongside a bug report. *)
+let to_string t =
+  Printf.sprintf "%d:%s" t.t_first
+    (String.init (Array.length t.t_decisions) (fun i ->
+         if t.t_decisions.(i) then '1' else '0'))
+
+let of_string s =
+  match String.index_opt s ':' with
+  | None -> None
+  | Some i ->
+      let first = int_of_string_opt (String.sub s 0 i) in
+      let body = String.sub s (i + 1) (String.length s - i - 1) in
+      if
+        first <> None
+        && String.for_all (fun c -> c = '0' || c = '1') body
+      then
+        Some
+          {
+            t_first = Option.get first;
+            t_decisions = Array.init (String.length body) (fun j -> body.[j] = '1');
+          }
+      else None

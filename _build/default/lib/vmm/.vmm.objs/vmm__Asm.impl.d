@@ -1,0 +1,1 @@
+lib/vmm/asm.ml: Array Hashtbl Isa Layout List Printf

@@ -1,0 +1,1 @@
+lib/vmm/asm.mli: Hashtbl Isa

@@ -1,0 +1,1 @@
+lib/vmm/isa.mli: Format

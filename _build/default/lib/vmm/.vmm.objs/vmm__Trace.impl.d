@@ -1,0 +1,1 @@
+lib/vmm/trace.ml: Format Layout

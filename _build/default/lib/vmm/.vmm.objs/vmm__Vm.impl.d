@@ -1,0 +1,1 @@
+lib/vmm/vm.ml: Array Asm Buffer Bytes Char Hashtbl Int32 Int64 Isa Layout List Printf String Trace

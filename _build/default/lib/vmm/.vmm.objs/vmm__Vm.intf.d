@@ -1,0 +1,1 @@
+lib/vmm/vm.mli: Asm Isa Trace

@@ -1,0 +1,156 @@
+(* Assembler and linker for the guest kernel.
+
+   Kernel code is written in OCaml as a sequence of [emit] calls using
+   string labels; [link] resolves labels to program addresses and produces
+   an immutable image.  The assembler also owns the kernel data segment:
+   globals are allocated here and recorded in a region registry that the
+   bug oracle later uses to map raw addresses back to kernel objects. *)
+
+type region = { name : string; addr : int; size : int }
+
+type fixup = { fx_addr : int; fx_label : string }
+
+type image = {
+  code : int Isa.instr array;
+  entries : (string, int) Hashtbl.t;
+  func_of_pc : string array;
+  regions : region list;
+  data_init : (int * int) list;  (* (address, 8-byte word value) *)
+  msgs : string array;
+  kdata_end : int;
+}
+
+type t = {
+  mutable instrs : string Isa.instr list;  (* reversed *)
+  mutable count : int;
+  labels : (string, int) Hashtbl.t;
+  mutable funcs : (int * string) list;  (* start pc, name; reversed *)
+  mutable cur_func : string;
+  mutable data_ptr : int;
+  mutable regions : region list;
+  mutable data_init : (int * int) list;
+  mutable fixups : fixup list;
+  mutable msgs : string list;  (* reversed *)
+  mutable nmsgs : int;
+  mutable fresh_counter : int;
+}
+
+let create () =
+  {
+    instrs = [];
+    count = 0;
+    labels = Hashtbl.create 64;
+    funcs = [];
+    cur_func = "<none>";
+    data_ptr = Layout.kdata_base;
+    regions = [];
+    data_init = [];
+    fixups = [];
+    msgs = [];
+    nmsgs = 0;
+    fresh_counter = 0;
+  }
+
+let msg t s =
+  let id = t.nmsgs in
+  t.msgs <- s :: t.msgs;
+  t.nmsgs <- id + 1;
+  id
+
+let align8 n = (n + 7) land lnot 7
+
+let global t name size =
+  assert (size > 0);
+  let addr = align8 t.data_ptr in
+  if addr + size > Layout.kheap_base then
+    invalid_arg (Printf.sprintf "asm: kernel data segment overflow at %s" name);
+  t.data_ptr <- addr + size;
+  t.regions <- { name; addr; size } :: t.regions;
+  addr
+
+let global_words t name words =
+  let addr = global t name (8 * List.length words) in
+  List.iteri (fun i w -> t.data_init <- (addr + (8 * i), w) :: t.data_init) words;
+  addr
+
+let global_funcs t name fnames =
+  let addr = global t name (8 * List.length fnames) in
+  List.iteri
+    (fun i fn -> t.fixups <- { fx_addr = addr + (8 * i); fx_label = fn } :: t.fixups)
+    fnames;
+  addr
+
+let fresh t prefix =
+  t.fresh_counter <- t.fresh_counter + 1;
+  Printf.sprintf ".%s.%d" prefix t.fresh_counter
+
+let label t name =
+  if Hashtbl.mem t.labels name then
+    invalid_arg (Printf.sprintf "asm: duplicate label %s" name);
+  Hashtbl.replace t.labels name t.count
+
+let emit t i =
+  t.instrs <- i :: t.instrs;
+  t.count <- t.count + 1
+
+let func t name body =
+  label t name;
+  t.funcs <- (t.count, name) :: t.funcs;
+  let saved = t.cur_func in
+  t.cur_func <- name;
+  body ();
+  (* Guard against falling through the end of a function during
+     development; linked code should never reach this. *)
+  emit t Isa.Halt;
+  t.cur_func <- saved
+
+let link t =
+  let code_src = Array.of_list (List.rev t.instrs) in
+  let resolve l =
+    match Hashtbl.find_opt t.labels l with
+    | Some pc -> pc
+    | None -> invalid_arg (Printf.sprintf "asm: undefined label %s" l)
+  in
+  let code = Array.map (Isa.map_label resolve) code_src in
+  let func_of_pc = Array.make (Array.length code) "<none>" in
+  let funcs = List.rev t.funcs in
+  let rec fill idx = function
+    | [] -> ()
+    | (start, name) :: rest ->
+        let stop =
+          match rest with (s, _) :: _ -> s | [] -> Array.length code
+        in
+        for pc = max idx start to stop - 1 do
+          func_of_pc.(pc) <- name
+        done;
+        fill stop rest
+  in
+  fill 0 funcs;
+  let entries = Hashtbl.create 64 in
+  List.iter (fun (pc, name) -> Hashtbl.replace entries name pc) funcs;
+  let data_init =
+    List.rev_append
+      (List.rev_map (fun fx -> (fx.fx_addr, resolve fx.fx_label)) t.fixups)
+      t.data_init
+  in
+  {
+    code;
+    entries;
+    func_of_pc;
+    regions = List.rev t.regions;
+    data_init;
+    msgs = Array.of_list (List.rev t.msgs);
+    kdata_end = t.data_ptr;
+  }
+
+let entry image name =
+  match Hashtbl.find_opt image.entries name with
+  | Some pc -> pc
+  | None -> invalid_arg (Printf.sprintf "asm: unknown entry point %s" name)
+
+let func_name image pc =
+  if pc >= 0 && pc < Array.length image.func_of_pc then image.func_of_pc.(pc)
+  else "<invalid>"
+
+let region_of_addr (image : image) addr =
+  List.find_opt (fun r -> addr >= r.addr && addr < r.addr + r.size) image.regions

@@ -1,0 +1,66 @@
+(** Assembler and linker for the guest kernel.
+
+    Kernel code is written as a sequence of [emit] calls with string labels;
+    [link] resolves the labels and produces an immutable image.  The
+    assembler also owns the kernel data segment: globals are allocated here
+    and recorded in a region registry that the bug oracle uses to map raw
+    addresses back to named kernel objects. *)
+
+type region = { name : string; addr : int; size : int }
+
+type image = {
+  code : int Isa.instr array;
+  entries : (string, int) Hashtbl.t;  (** function name -> program address *)
+  func_of_pc : string array;  (** enclosing function of each address *)
+  regions : region list;  (** kernel globals, in allocation order *)
+  data_init : (int * int) list;  (** (address, initial 8-byte word) *)
+  msgs : string array;  (** console message table *)
+  kdata_end : int;  (** first unallocated kernel-data byte *)
+}
+
+type t
+
+val create : unit -> t
+
+val msg : t -> string -> int
+(** Intern a console format string; the returned id is used with
+    [Isa.Hconsole]/[Isa.Hpanic].  Up to three [%d] placeholders are
+    substituted with r0-r2 at runtime. *)
+
+val global : t -> string -> int -> int
+(** [global t name size] allocates [size] bytes of zero-initialised kernel
+    data, 8-byte aligned, registers the region under [name] and returns its
+    address. *)
+
+val global_words : t -> string -> int list -> int
+(** Allocate a global initialised with the given 8-byte words. *)
+
+val global_funcs : t -> string -> string list -> int
+(** Allocate a table of function pointers; each entry is fixed up to the
+    program address of the named function at link time. *)
+
+val fresh : t -> string -> string
+(** A fresh local label with the given prefix. *)
+
+val label : t -> string -> unit
+(** Place a label at the current program address. *)
+
+val emit : t -> string Isa.instr -> unit
+
+val func : t -> string -> (unit -> unit) -> unit
+(** [func t name body] places label [name], records the function extent for
+    address-to-name mapping, runs [body] to emit the function's
+    instructions, and appends a guard [Halt]. *)
+
+val link : t -> image
+(** Resolve all labels and fixups.  Raises [Invalid_argument] on undefined
+    or duplicate labels. *)
+
+val entry : image -> string -> int
+(** Program address of a named function. *)
+
+val func_name : image -> int -> string
+(** Enclosing function of a program address. *)
+
+val region_of_addr : image -> int -> region option
+(** The kernel global containing [addr], if any. *)

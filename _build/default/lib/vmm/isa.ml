@@ -1,0 +1,173 @@
+(* Instruction set of the guest machine.
+
+   The machine is a small register machine designed to make every kernel
+   memory access visible to the hypervisor: loads and stores carry an
+   explicit [atomic] flag (the analogue of Linux's READ_ONCE/WRITE_ONCE and
+   rcu_dereference/rcu_assign_pointer marked accesses), and synchronization
+   primitives raise hypervisor events so that bug detectors can maintain
+   locksets without guessing. *)
+
+type reg = int
+
+let num_regs = 17
+
+(* Register conventions.  [r0]-[r5] carry syscall/function arguments and
+   [r0] the return value; [r6]-[r11] are scratch; [r12] holds the syscall
+   number on kernel entry; [r13]-[r15] are extra scratch; [sp] is the stack
+   pointer (a separate index so the hypervisor can apply the ESP-based
+   kernel-stack filter of Snowboard section 4.1.1). *)
+let r0 = 0
+let r1 = 1
+let r2 = 2
+let r3 = 3
+let r4 = 4
+let r5 = 5
+let r6 = 6
+let r7 = 7
+let r8 = 8
+let r9 = 9
+let r10 = 10
+let r11 = 11
+let r12 = 12
+let r13 = 13
+let r14 = 14
+let r15 = 15
+let sp = 16
+
+let reg_name (r : reg) = if r = sp then "sp" else Printf.sprintf "r%d" r
+
+type operand = Imm of int | Reg of reg
+
+type cond = Eq | Ne | Lt | Le | Gt | Ge
+
+let cond_name = function
+  | Eq -> "eq" | Ne -> "ne" | Lt -> "lt" | Le -> "le" | Gt -> "gt" | Ge -> "ge"
+
+let eval_cond c a b =
+  match c with
+  | Eq -> a = b
+  | Ne -> a <> b
+  | Lt -> a < b
+  | Le -> a <= b
+  | Gt -> a > b
+  | Ge -> a >= b
+
+type binop = Add | Sub | And | Or | Xor | Shl | Shr | Mul | Div
+
+let binop_name = function
+  | Add -> "add" | Sub -> "sub" | And -> "and" | Or -> "or" | Xor -> "xor"
+  | Shl -> "shl" | Shr -> "shr" | Mul -> "mul" | Div -> "div"
+
+let eval_binop op a b =
+  match op with
+  | Add -> a + b
+  | Sub -> a - b
+  | And -> a land b
+  | Or -> a lor b
+  | Xor -> a lxor b
+  | Shl -> a lsl b
+  | Shr -> a lsr b
+  | Mul -> a * b
+  | Div -> if b = 0 then 0 else a / b
+
+(* Hypervisor calls.  These are annotations, not computation: they let the
+   host-side detectors track locks, RCU critical sections and console
+   output precisely, mirroring how the real Snowboard instruments the
+   guest kernel. *)
+type hyper =
+  | Hconsole of int  (** console message id; r0-r2 are format arguments *)
+  | Hpanic of int  (** kernel panic with message id *)
+  | Hlock_acq  (** lock at address r0 acquired (post-acquire annotation) *)
+  | Hlock_rel  (** lock at address r0 about to be released *)
+  | Hrcu_lock  (** enter RCU read-side critical section *)
+  | Hrcu_unlock  (** leave RCU read-side critical section *)
+
+let hyper_name = function
+  | Hconsole _ -> "console"
+  | Hpanic _ -> "panic"
+  | Hlock_acq -> "lock_acq"
+  | Hlock_rel -> "lock_rel"
+  | Hrcu_lock -> "rcu_lock"
+  | Hrcu_unlock -> "rcu_unlock"
+
+(* Instructions are parameterised over the label type: the assembler emits
+   ['lbl = string] instructions and the linker resolves them to [int]
+   program addresses. *)
+type 'lbl instr =
+  | Li of reg * int
+  | Mov of reg * reg
+  | Bin of binop * reg * reg * operand
+  | Load of { dst : reg; base : reg; off : int; size : int; atomic : bool }
+  | Store of { base : reg; off : int; src : operand; size : int; atomic : bool }
+  | Cas of { dst : reg; base : reg; off : int; expected : operand; desired : operand }
+      (** atomic compare-and-swap on an 8-byte cell; [dst] gets 1 on
+          success, 0 on failure *)
+  | Faa of { dst : reg; base : reg; off : int; delta : operand }
+      (** atomic fetch-and-add on an 8-byte cell; [dst] gets the old value *)
+  | Br of cond * reg * operand * 'lbl
+  | Jmp of 'lbl
+  | Call of 'lbl
+  | Callind of reg
+  | Ret
+  | Push of reg
+  | Pop of reg
+  | Pause  (** spin-wait hint; the scheduler treats it as a liveness signal *)
+  | Halt
+  | Hyper of hyper
+
+let valid_size s = s = 1 || s = 2 || s = 4 || s = 8
+
+let map_label (f : 'a -> 'b) (i : 'a instr) : 'b instr =
+  match i with
+  | Li (r, v) -> Li (r, v)
+  | Mov (a, b) -> Mov (a, b)
+  | Bin (op, d, a, o) -> Bin (op, d, a, o)
+  | Load l -> Load l
+  | Store s -> Store s
+  | Cas c -> Cas c
+  | Faa a -> Faa a
+  | Br (c, r, o, l) -> Br (c, r, o, f l)
+  | Jmp l -> Jmp (f l)
+  | Call l -> Call (f l)
+  | Callind r -> Callind r
+  | Ret -> Ret
+  | Push r -> Push r
+  | Pop r -> Pop r
+  | Pause -> Pause
+  | Halt -> Halt
+  | Hyper h -> Hyper h
+
+let pp_operand ppf = function
+  | Imm i -> Format.fprintf ppf "#%d" i
+  | Reg r -> Format.pp_print_string ppf (reg_name r)
+
+let pp_instr pp_lbl ppf (i : 'lbl instr) =
+  let f fmt = Format.fprintf ppf fmt in
+  match i with
+  | Li (r, v) -> f "li %s, %d" (reg_name r) v
+  | Mov (a, b) -> f "mov %s, %s" (reg_name a) (reg_name b)
+  | Bin (op, d, a, o) ->
+      f "%s %s, %s, %a" (binop_name op) (reg_name d) (reg_name a) pp_operand o
+  | Load { dst; base; off; size; atomic } ->
+      f "ld%d%s %s, [%s+%d]" size (if atomic then ".a" else "") (reg_name dst)
+        (reg_name base) off
+  | Store { base; off; src; size; atomic } ->
+      f "st%d%s [%s+%d], %a" size (if atomic then ".a" else "") (reg_name base)
+        off pp_operand src
+  | Cas { dst; base; off; expected; desired } ->
+      f "cas %s, [%s+%d], %a, %a" (reg_name dst) (reg_name base) off pp_operand
+        expected pp_operand desired
+  | Faa { dst; base; off; delta } ->
+      f "faa %s, [%s+%d], %a" (reg_name dst) (reg_name base) off pp_operand
+        delta
+  | Br (c, r, o, l) ->
+      f "b%s %s, %a, %a" (cond_name c) (reg_name r) pp_operand o pp_lbl l
+  | Jmp l -> f "jmp %a" pp_lbl l
+  | Call l -> f "call %a" pp_lbl l
+  | Callind r -> f "calli %s" (reg_name r)
+  | Ret -> f "ret"
+  | Push r -> f "push %s" (reg_name r)
+  | Pop r -> f "pop %s" (reg_name r)
+  | Pause -> f "pause"
+  | Halt -> f "halt"
+  | Hyper h -> f "hyper %s" (hyper_name h)

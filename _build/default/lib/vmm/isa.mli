@@ -1,0 +1,89 @@
+(** Instruction set of the guest machine.
+
+    A small register machine whose memory accesses are fully visible to the
+    hypervisor.  Loads and stores carry an [atomic] flag modelling Linux's
+    marked accesses (READ_ONCE / WRITE_ONCE / rcu_dereference); lock and RCU
+    operations are hypervisor annotations so detectors can maintain precise
+    locksets. *)
+
+type reg = int
+
+val num_regs : int
+
+val r0 : reg
+val r1 : reg
+val r2 : reg
+val r3 : reg
+val r4 : reg
+val r5 : reg
+val r6 : reg
+val r7 : reg
+val r8 : reg
+val r9 : reg
+val r10 : reg
+val r11 : reg
+val r12 : reg
+val r13 : reg
+val r14 : reg
+val r15 : reg
+
+val sp : reg
+(** Stack pointer; kept distinct so the hypervisor can apply Snowboard's
+    ESP-based kernel-stack filter. *)
+
+val reg_name : reg -> string
+
+type operand = Imm of int | Reg of reg
+
+type cond = Eq | Ne | Lt | Le | Gt | Ge
+
+val cond_name : cond -> string
+
+val eval_cond : cond -> int -> int -> bool
+
+type binop = Add | Sub | And | Or | Xor | Shl | Shr | Mul | Div
+
+val binop_name : binop -> string
+
+val eval_binop : binop -> int -> int -> int
+(** [Div] by zero evaluates to 0 rather than trapping; the kernel code
+    never relies on this. *)
+
+type hyper =
+  | Hconsole of int  (** console message id; r0-r2 are format arguments *)
+  | Hpanic of int  (** kernel panic with message id *)
+  | Hlock_acq  (** lock at address r0 acquired *)
+  | Hlock_rel  (** lock at address r0 about to be released *)
+  | Hrcu_lock  (** enter RCU read-side critical section *)
+  | Hrcu_unlock  (** leave RCU read-side critical section *)
+
+val hyper_name : hyper -> string
+
+type 'lbl instr =
+  | Li of reg * int
+  | Mov of reg * reg
+  | Bin of binop * reg * reg * operand
+  | Load of { dst : reg; base : reg; off : int; size : int; atomic : bool }
+  | Store of { base : reg; off : int; src : operand; size : int; atomic : bool }
+  | Cas of { dst : reg; base : reg; off : int; expected : operand; desired : operand }
+  | Faa of { dst : reg; base : reg; off : int; delta : operand }
+  | Br of cond * reg * operand * 'lbl
+  | Jmp of 'lbl
+  | Call of 'lbl
+  | Callind of reg
+  | Ret
+  | Push of reg
+  | Pop of reg
+  | Pause
+  | Halt
+  | Hyper of hyper
+
+val valid_size : int -> bool
+(** Memory access sizes are 1, 2, 4 or 8 bytes. *)
+
+val map_label : ('a -> 'b) -> 'a instr -> 'b instr
+
+val pp_operand : Format.formatter -> operand -> unit
+
+val pp_instr :
+  (Format.formatter -> 'lbl -> unit) -> Format.formatter -> 'lbl instr -> unit

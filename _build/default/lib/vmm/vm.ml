@@ -1,0 +1,379 @@
+(* The guest machine (hypervisor side).
+
+   Two design constraints come straight from the paper: execution must be
+   deterministic given the sequence of scheduling decisions (checkpoint-
+   based replay, section 3.2.1), and every kernel memory access must be
+   observable with its address range, size, value and instruction address
+   (section 4.1).  The machine therefore executes exactly one instruction
+   per [step] call, on the requested vCPU only, and returns every event the
+   instruction produced. *)
+
+type mode = Kernel | User | Dead
+
+type cpu = { regs : int array; mutable pc : int; mutable mode : mode }
+
+type event =
+  | Eaccess of Trace.access
+  | Econsole of string
+  | Epanic of string
+  | Elock of [ `Acq | `Rel ] * int  (* lock address *)
+  | Ercu of [ `Lock | `Unlock ]
+  | Eret_to_user
+  | Epause
+  | Ehalt
+  | Efault of int  (* faulting data address *)
+  | Ecall of int  (* entered the function at this program address *)
+  | Ereturn  (* returned from the current function *)
+
+type t = {
+  image : Asm.image;
+  kmem : Bytes.t;
+  umem : Bytes.t array;
+  cpus : cpu array;
+  mutable console : string list;  (* reversed *)
+  mutable panicked : bool;
+  coverage : (int, unit) Hashtbl.t;
+  mutable steps : int;
+}
+
+exception Fault of int
+
+let ret_sentinel = -1
+
+let make_cpu () = { regs = Array.make Isa.num_regs 0; pc = 0; mode = Dead }
+
+let create image =
+  let kmem = Bytes.make Layout.kmem_size '\000' in
+  List.iter
+    (fun (addr, w) -> Bytes.set_int64_le kmem addr (Int64.of_int w))
+    image.Asm.data_init;
+  {
+    image;
+    kmem;
+    umem = Array.init Layout.max_threads (fun _ -> Bytes.make Layout.user_size '\000');
+    cpus = Array.init Layout.max_threads (fun _ -> make_cpu ());
+    console = [];
+    panicked = false;
+    coverage = Hashtbl.create 4096;
+    steps = 0;
+  }
+
+(* Snapshots copy all guest-visible state: kernel memory, user memories,
+   vCPU registers and modes, console and panic flag.  Coverage and the
+   step counter are host-side statistics and survive restores. *)
+type snap = {
+  s_kmem : Bytes.t;
+  s_umem : Bytes.t array;
+  s_cpus : (int array * int * mode) array;
+  s_console : string list;
+  s_panicked : bool;
+}
+
+let snapshot t =
+  {
+    s_kmem = Bytes.copy t.kmem;
+    s_umem = Array.map Bytes.copy t.umem;
+    s_cpus =
+      Array.map (fun c -> (Array.copy c.regs, c.pc, c.mode)) t.cpus;
+    s_console = t.console;
+    s_panicked = t.panicked;
+  }
+
+let restore t s =
+  Bytes.blit s.s_kmem 0 t.kmem 0 Layout.kmem_size;
+  Array.iteri (fun i u -> Bytes.blit u 0 t.umem.(i) 0 Layout.user_size) s.s_umem;
+  Array.iteri
+    (fun i (regs, pc, mode) ->
+      Array.blit regs 0 t.cpus.(i).regs 0 Isa.num_regs;
+      t.cpus.(i).pc <- pc;
+      t.cpus.(i).mode <- mode)
+    s.s_cpus;
+  t.console <- s.s_console;
+  t.panicked <- s.s_panicked
+
+let size_mask = function
+  | 1 -> 0xff
+  | 2 -> 0xffff
+  | 4 -> 0xffffffff
+  | 8 -> -1
+  | _ -> invalid_arg "vm: bad access size"
+
+(* Address translation: returns the backing buffer and offset, faulting on
+   the NULL guard page and on any unmapped address. *)
+let translate t tid addr size =
+  if addr < Layout.null_guard_end then raise (Fault addr)
+  else if Layout.is_kernel addr then
+    if addr + size <= Layout.kmem_size then (t.kmem, addr) else raise (Fault addr)
+  else if Layout.is_user addr then begin
+    let off = addr - Layout.user_base in
+    if off + size <= Layout.user_size then (t.umem.(tid), off)
+    else raise (Fault addr)
+  end
+  else raise (Fault addr)
+
+let raw_read buf off size =
+  match size with
+  | 1 -> Char.code (Bytes.get buf off)
+  | 2 -> Bytes.get_uint16_le buf off
+  | 4 -> Int64.to_int (Int64.logand (Int64.of_int32 (Bytes.get_int32_le buf off)) 0xffffffffL)
+  | 8 -> Int64.to_int (Bytes.get_int64_le buf off)
+  | _ -> invalid_arg "vm: bad access size"
+
+let raw_write buf off size v =
+  match size with
+  | 1 -> Bytes.set buf off (Char.chr (v land 0xff))
+  | 2 -> Bytes.set_uint16_le buf off (v land 0xffff)
+  | 4 -> Bytes.set_int32_le buf off (Int32.of_int (v land 0xffffffff))
+  | 8 -> Bytes.set_int64_le buf off (Int64.of_int v)
+  | _ -> invalid_arg "vm: bad access size"
+
+let mem_read t tid addr size =
+  let buf, off = translate t tid addr size in
+  raw_read buf off size
+
+let mem_write t tid addr size v =
+  let buf, off = translate t tid addr size in
+  raw_write buf off size (v land size_mask size)
+
+(* Host-side helpers for the executor: peek/poke guest memory without
+   producing trace events (used to install syscall argument buffers and to
+   read back results). *)
+let peek = mem_read
+let poke = mem_write
+
+let record_edge t from_pc to_pc =
+  Hashtbl.replace t.coverage ((from_pc lsl 24) lor (to_pc land 0xffffff)) ()
+
+let coverage_size t = Hashtbl.length t.coverage
+
+let coverage_edges t =
+  Hashtbl.fold (fun k () acc -> (k lsr 24, k land 0xffffff) :: acc) t.coverage []
+
+let reset_coverage t = Hashtbl.reset t.coverage
+
+let steps t = t.steps
+
+(* Substitute up to three %d placeholders with the low argument regs. *)
+let format_msg fmt args =
+  let buf = Buffer.create (String.length fmt + 16) in
+  let n = String.length fmt in
+  let argi = ref 0 in
+  let i = ref 0 in
+  while !i < n do
+    if !i + 1 < n && fmt.[!i] = '%' && fmt.[!i + 1] = 'd' then begin
+      let v = if !argi < Array.length args then args.(!argi) else 0 in
+      incr argi;
+      Buffer.add_string buf (string_of_int v);
+      i := !i + 2
+    end
+    else begin
+      Buffer.add_char buf fmt.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let console_lines t = List.rev t.console
+
+let add_console t line = t.console <- line :: t.console
+
+let panicked t = t.panicked
+
+let cpu_mode t tid = t.cpus.(tid).mode
+
+let cpu_pc t tid = t.cpus.(tid).pc
+
+let reg t tid r = t.cpus.(tid).regs.(r)
+
+let set_reg t tid r v = t.cpus.(tid).regs.(r) <- v
+
+(* Prepare a vCPU to run kernel code at [entry] with the given arguments.
+   The return-address sentinel makes the final [Ret] visible as
+   [Eret_to_user].  Pushing it goes through guest memory so that kernel
+   stack contents are realistic. *)
+let start_call t tid entry args =
+  let c = t.cpus.(tid) in
+  Array.fill c.regs 0 Isa.num_regs 0;
+  List.iteri (fun i v -> if i < 6 then c.regs.(i) <- v) args;
+  c.regs.(Isa.sp) <- Layout.stack_top tid - 8;
+  mem_write t tid c.regs.(Isa.sp) 8 ret_sentinel;
+  c.pc <- entry;
+  c.mode <- Kernel
+
+let image t = t.image
+
+let operand c = function Isa.Imm i -> i | Isa.Reg r -> c.regs.(r)
+
+let access t tid c ~addr ~size ~kind ~value ~atomic =
+  ignore t;
+  Eaccess
+    {
+      Trace.thread = tid;
+      pc = c.pc;
+      addr;
+      size;
+      kind;
+      value;
+      atomic;
+      sp = c.regs.(Isa.sp);
+    }
+
+(* Execute one instruction on vCPU [tid]; returns the events produced.
+   A data fault kills the thread and reports the same console lines a real
+   kernel oops would produce, which is what the console checker greps. *)
+let step t tid =
+  let c = t.cpus.(tid) in
+  if c.mode <> Kernel then invalid_arg "vm: stepping a non-kernel thread";
+  let pc = c.pc in
+  if pc < 0 || pc >= Array.length t.image.Asm.code then
+    invalid_arg (Printf.sprintf "vm: pc out of range: %d" pc);
+  let i = t.image.Asm.code.(pc) in
+  t.steps <- t.steps + 1;
+  let next = pc + 1 in
+  try
+    match i with
+    | Isa.Li (r, v) ->
+        c.regs.(r) <- v;
+        c.pc <- next;
+        []
+    | Isa.Mov (d, s) ->
+        c.regs.(d) <- c.regs.(s);
+        c.pc <- next;
+        []
+    | Isa.Bin (op, d, a, o) ->
+        c.regs.(d) <- Isa.eval_binop op c.regs.(a) (operand c o);
+        c.pc <- next;
+        []
+    | Isa.Load { dst; base; off; size; atomic } ->
+        let addr = c.regs.(base) + off in
+        let v = mem_read t tid addr size in
+        let ev = access t tid c ~addr ~size ~kind:Trace.Read ~value:v ~atomic in
+        c.regs.(dst) <- v;
+        c.pc <- next;
+        [ ev ]
+    | Isa.Store { base; off; src; size; atomic } ->
+        let addr = c.regs.(base) + off in
+        let v = operand c src land size_mask size in
+        mem_write t tid addr size v;
+        let ev = access t tid c ~addr ~size ~kind:Trace.Write ~value:v ~atomic in
+        c.pc <- next;
+        [ ev ]
+    | Isa.Cas { dst; base; off; expected; desired } ->
+        let addr = c.regs.(base) + off in
+        let old = mem_read t tid addr 8 in
+        let rd = access t tid c ~addr ~size:8 ~kind:Trace.Read ~value:old ~atomic:true in
+        if old = operand c expected then begin
+          let v = operand c desired in
+          mem_write t tid addr 8 v;
+          c.regs.(dst) <- 1;
+          c.pc <- next;
+          [ rd; access t tid c ~addr ~size:8 ~kind:Trace.Write ~value:v ~atomic:true ]
+        end
+        else begin
+          c.regs.(dst) <- 0;
+          c.pc <- next;
+          [ rd ]
+        end
+    | Isa.Faa { dst; base; off; delta } ->
+        let addr = c.regs.(base) + off in
+        let old = mem_read t tid addr 8 in
+        let v = old + operand c delta in
+        mem_write t tid addr 8 v;
+        c.regs.(dst) <- old;
+        c.pc <- next;
+        [
+          access t tid c ~addr ~size:8 ~kind:Trace.Read ~value:old ~atomic:true;
+          access t tid c ~addr ~size:8 ~kind:Trace.Write ~value:v ~atomic:true;
+        ]
+    | Isa.Br (cond, r, o, target) ->
+        let taken = Isa.eval_cond cond c.regs.(r) (operand c o) in
+        let dest = if taken then target else next in
+        record_edge t pc dest;
+        c.pc <- dest;
+        []
+    | Isa.Jmp target ->
+        record_edge t pc target;
+        c.pc <- target;
+        []
+    | Isa.Call target ->
+        let nsp = c.regs.(Isa.sp) - 8 in
+        mem_write t tid nsp 8 next;
+        c.regs.(Isa.sp) <- nsp;
+        let ev = access t tid c ~addr:nsp ~size:8 ~kind:Trace.Write ~value:next ~atomic:false in
+        record_edge t pc target;
+        c.pc <- target;
+        [ ev; Ecall target ]
+    | Isa.Callind r ->
+        let target = c.regs.(r) in
+        if target < 0 || target >= Array.length t.image.Asm.code then
+          raise (Fault target);
+        let nsp = c.regs.(Isa.sp) - 8 in
+        mem_write t tid nsp 8 next;
+        c.regs.(Isa.sp) <- nsp;
+        let ev = access t tid c ~addr:nsp ~size:8 ~kind:Trace.Write ~value:next ~atomic:false in
+        record_edge t pc target;
+        c.pc <- target;
+        [ ev; Ecall target ]
+    | Isa.Ret ->
+        let spv = c.regs.(Isa.sp) in
+        let target = mem_read t tid spv 8 in
+        let ev = access t tid c ~addr:spv ~size:8 ~kind:Trace.Read ~value:target ~atomic:false in
+        c.regs.(Isa.sp) <- spv + 8;
+        if target = ret_sentinel then begin
+          c.mode <- User;
+          [ ev; Eret_to_user ]
+        end
+        else begin
+          record_edge t pc target;
+          c.pc <- target;
+          [ ev; Ereturn ]
+        end
+    | Isa.Push r ->
+        let nsp = c.regs.(Isa.sp) - 8 in
+        let v = c.regs.(r) in
+        mem_write t tid nsp 8 v;
+        c.regs.(Isa.sp) <- nsp;
+        c.pc <- next;
+        [ access t tid c ~addr:nsp ~size:8 ~kind:Trace.Write ~value:v ~atomic:false ]
+    | Isa.Pop r ->
+        let spv = c.regs.(Isa.sp) in
+        let v = mem_read t tid spv 8 in
+        c.regs.(r) <- v;
+        c.regs.(Isa.sp) <- spv + 8;
+        c.pc <- next;
+        [ access t tid c ~addr:spv ~size:8 ~kind:Trace.Read ~value:v ~atomic:false ]
+    | Isa.Pause ->
+        c.pc <- next;
+        [ Epause ]
+    | Isa.Halt ->
+        c.mode <- Dead;
+        [ Ehalt ]
+    | Isa.Hyper h -> (
+        c.pc <- next;
+        let args = [| c.regs.(0); c.regs.(1); c.regs.(2) |] in
+        match h with
+        | Isa.Hconsole id ->
+            let line = format_msg t.image.Asm.msgs.(id) args in
+            add_console t line;
+            [ Econsole line ]
+        | Isa.Hpanic id ->
+            let line = format_msg t.image.Asm.msgs.(id) args in
+            add_console t line;
+            t.panicked <- true;
+            c.mode <- Dead;
+            [ Econsole line; Epanic line ]
+        | Isa.Hlock_acq -> [ Elock (`Acq, c.regs.(0)) ]
+        | Isa.Hlock_rel -> [ Elock (`Rel, c.regs.(0)) ]
+        | Isa.Hrcu_lock -> [ Ercu `Lock ]
+        | Isa.Hrcu_unlock -> [ Ercu `Unlock ])
+  with Fault addr ->
+    let fn = Asm.func_name t.image pc in
+    let line =
+      if addr >= 0 && addr < Layout.null_guard_end then
+        Printf.sprintf "BUG: kernel NULL pointer dereference, address: 0x%04x, ip: %s" addr fn
+      else Printf.sprintf "BUG: unable to handle page fault for address: 0x%x, ip: %s" addr fn
+    in
+    add_console t line;
+    t.panicked <- true;
+    c.mode <- Dead;
+    [ Efault addr; Econsole line; Epanic line ]

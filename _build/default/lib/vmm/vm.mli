@@ -1,0 +1,75 @@
+(** The guest machine (hypervisor side).
+
+    Executes exactly one instruction per [step] call on the requested vCPU
+    and returns every event the instruction produced, so that schedulers
+    can interleave the two threads under test at instruction granularity
+    and detectors observe every kernel memory access — the two capabilities
+    Snowboard requires from its customized hypervisor. *)
+
+type mode = Kernel | User | Dead
+
+type event =
+  | Eaccess of Trace.access
+  | Econsole of string
+  | Epanic of string
+  | Elock of [ `Acq | `Rel ] * int  (** lock annotation with lock address *)
+  | Ercu of [ `Lock | `Unlock ]
+  | Eret_to_user  (** the current system call returned to user space *)
+  | Epause  (** spin-wait hint executed; a liveness signal *)
+  | Ehalt
+  | Efault of int  (** data fault at the given address *)
+  | Ecall of int  (** entered the function at this program address *)
+  | Ereturn  (** returned from the current function *)
+
+type t
+
+type snap
+(** A checkpoint of all guest-visible state (memories, vCPUs, console). *)
+
+val create : Asm.image -> t
+
+val snapshot : t -> snap
+
+val restore : t -> snap -> unit
+(** Restoring does not clear host-side statistics (coverage, step count). *)
+
+val start_call : t -> int -> int -> int list -> unit
+(** [start_call t tid entry args] prepares vCPU [tid] to execute kernel
+    code at [entry] with up to six arguments in r0-r5; the kernel stack is
+    reset and a sentinel return address is pushed so the final [Ret]
+    surfaces as [Eret_to_user]. *)
+
+val step : t -> int -> event list
+(** Execute one instruction on the given vCPU.  Raises [Invalid_argument]
+    if the vCPU is not in kernel mode. *)
+
+val peek : t -> int -> int -> int -> int
+(** [peek t tid addr size] reads guest memory without tracing (host use). *)
+
+val poke : t -> int -> int -> int -> int -> unit
+(** [poke t tid addr size v] writes guest memory without tracing. *)
+
+val console_lines : t -> string list
+(** Console output, oldest first. *)
+
+val panicked : t -> bool
+
+val cpu_mode : t -> int -> mode
+
+val cpu_pc : t -> int -> int
+
+val reg : t -> int -> Isa.reg -> int
+
+val set_reg : t -> int -> Isa.reg -> int -> unit
+
+val coverage_size : t -> int
+(** Number of distinct control-flow edges observed since the last reset. *)
+
+val coverage_edges : t -> (int * int) list
+
+val reset_coverage : t -> unit
+
+val steps : t -> int
+(** Total instructions executed since creation. *)
+
+val image : t -> Asm.image

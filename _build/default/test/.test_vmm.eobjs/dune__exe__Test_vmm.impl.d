@@ -1,0 +1,1 @@
+test/test_vmm.ml: Alcotest List String Test_vmm_layout Vmm

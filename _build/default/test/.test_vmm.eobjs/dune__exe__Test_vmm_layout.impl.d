@@ -1,0 +1,1 @@
+test/test_vmm_layout.ml: Alcotest QCheck QCheck_alcotest Vmm

@@ -1,0 +1,6 @@
+(* Minimal substring check shared by the test suites. *)
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0

@@ -1,0 +1,273 @@
+(* Tests for the race detector's happens-before semantics and the oracle's
+   issue mapping.  The detector must flag plain conflicting accesses that
+   are unordered, and must stay silent for lock-ordered accesses, for
+   RCU-style marked publish/subscribe chains, and for marked-vs-marked
+   conflicts (the KCSAN convention). *)
+
+module Trace = Vmm.Trace
+module Layout = Vmm.Layout
+module Race = Detectors.Race
+module Oracle = Detectors.Oracle
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let sp_of t = Layout.stack_top t - 64
+
+let acc ~t ?(pc = 0) ~kind ?(atomic = false) ~addr ?(size = 8) ~value () =
+  { Trace.thread = t; pc; addr; size; kind; value; atomic; sp = sp_of t }
+
+let feed d l = List.iter (fun a -> Race.on_access d a ~ctx:"f") l
+
+let lock_addr = 0x100
+let x = 0x200
+
+(* lock(t): the CAS pair a spinlock acquisition produces *)
+let lock t pc =
+  [
+    acc ~t ~pc ~kind:Trace.Read ~atomic:true ~addr:lock_addr ~value:0 ();
+    acc ~t ~pc ~kind:Trace.Write ~atomic:true ~addr:lock_addr ~value:1 ();
+  ]
+
+let unlock t pc =
+  [ acc ~t ~pc ~kind:Trace.Write ~atomic:true ~addr:lock_addr ~value:0 () ]
+
+let test_plain_conflict_races () =
+  let d = Race.create () in
+  feed d
+    [
+      acc ~t:0 ~pc:1 ~kind:Trace.Write ~addr:x ~value:1 ();
+      acc ~t:1 ~pc:2 ~kind:Trace.Read ~addr:x ~value:1 ();
+    ];
+  checki "write/read race" 1 (Race.num_reports d);
+  let d = Race.create () in
+  feed d
+    [
+      acc ~t:0 ~pc:1 ~kind:Trace.Write ~addr:x ~value:1 ();
+      acc ~t:1 ~pc:2 ~kind:Trace.Write ~addr:x ~value:2 ();
+    ];
+  checki "write/write race" 1 (Race.num_reports d)
+
+let test_read_read_no_race () =
+  let d = Race.create () in
+  feed d
+    [
+      acc ~t:0 ~pc:1 ~kind:Trace.Read ~addr:x ~value:1 ();
+      acc ~t:1 ~pc:2 ~kind:Trace.Read ~addr:x ~value:1 ();
+    ];
+  checki "read/read fine" 0 (Race.num_reports d)
+
+let test_lock_ordering_suppresses () =
+  let d = Race.create () in
+  feed d (lock 0 10);
+  feed d [ acc ~t:0 ~pc:1 ~kind:Trace.Write ~addr:x ~value:1 () ];
+  feed d (unlock 0 11);
+  feed d (lock 1 10);
+  feed d [ acc ~t:1 ~pc:2 ~kind:Trace.Read ~addr:x ~value:1 () ];
+  feed d (unlock 1 11);
+  checki "lock-ordered accesses do not race" 0 (Race.num_reports d)
+
+let test_different_locks_race () =
+  let other_lock = 0x180 in
+  let d = Race.create () in
+  feed d (lock 0 10);
+  feed d [ acc ~t:0 ~pc:1 ~kind:Trace.Write ~addr:x ~value:1 () ];
+  feed d (unlock 0 11);
+  (* thread 1 takes a different lock: no ordering *)
+  feed d
+    [
+      acc ~t:1 ~pc:12 ~kind:Trace.Read ~atomic:true ~addr:other_lock ~value:0 ();
+      acc ~t:1 ~pc:12 ~kind:Trace.Write ~atomic:true ~addr:other_lock ~value:1 ();
+      acc ~t:1 ~pc:2 ~kind:Trace.Read ~addr:x ~value:1 ();
+    ];
+  checki "different locks race (bug #9 pattern)" 1 (Race.num_reports d)
+
+let test_rcu_publish_suppresses () =
+  (* writer initialises a field, publishes with a marked store; reader
+     reads the pointer with a marked load, then the field plainly *)
+  let head = 0x300 and field = 0x308 in
+  let d = Race.create () in
+  feed d
+    [
+      acc ~t:0 ~pc:1 ~kind:Trace.Write ~addr:field ~value:5 ();
+      acc ~t:0 ~pc:2 ~kind:Trace.Write ~atomic:true ~addr:head ~value:field ();
+      acc ~t:1 ~pc:3 ~kind:Trace.Read ~atomic:true ~addr:head ~value:field ();
+      acc ~t:1 ~pc:4 ~kind:Trace.Read ~addr:field ~value:5 ();
+    ];
+  checki "publish/subscribe ordered" 0 (Race.num_reports d)
+
+let test_unpublished_field_races () =
+  (* without the marked-load acquire, the field read races *)
+  let field = 0x308 in
+  let d = Race.create () in
+  feed d
+    [
+      acc ~t:0 ~pc:1 ~kind:Trace.Write ~addr:field ~value:5 ();
+      acc ~t:1 ~pc:4 ~kind:Trace.Read ~addr:field ~value:5 ();
+    ];
+  checki "no acquire, race" 1 (Race.num_reports d)
+
+let test_marked_vs_marked_ok () =
+  let d = Race.create () in
+  feed d
+    [
+      acc ~t:0 ~pc:1 ~kind:Trace.Write ~atomic:true ~addr:x ~value:1 ();
+      acc ~t:1 ~pc:2 ~kind:Trace.Read ~atomic:true ~addr:x ~value:1 ();
+    ];
+  checki "both marked is not a data race" 0 (Race.num_reports d)
+
+let test_marked_vs_plain_races () =
+  let d = Race.create () in
+  feed d
+    [
+      acc ~t:0 ~pc:1 ~kind:Trace.Write ~atomic:true ~addr:x ~value:1 ();
+      acc ~t:1 ~pc:2 ~kind:Trace.Read ~addr:x ~value:1 ();
+    ];
+  checki "marked vs plain races (bug #1 pattern)" 1 (Race.num_reports d)
+
+let test_partial_overlap_races () =
+  let d = Race.create () in
+  feed d
+    [
+      acc ~t:0 ~pc:1 ~kind:Trace.Write ~addr:(x + 3) ~size:1 ~value:0xff ();
+      acc ~t:1 ~pc:2 ~kind:Trace.Read ~addr:x ~size:8 ~value:0 ();
+    ];
+  checki "byte inside word races" 1 (Race.num_reports d)
+
+let test_stack_accesses_ignored () =
+  let d = Race.create () in
+  feed d
+    [
+      acc ~t:0 ~pc:1 ~kind:Trace.Write ~addr:(sp_of 0) ~value:1 ();
+      acc ~t:1 ~pc:2 ~kind:Trace.Read ~addr:(sp_of 0) ~value:1 ();
+    ];
+  (* thread 1's access to thread 0's stack is shared per the ESP filter,
+     but thread 0's own-stack access is filtered, so no pair forms *)
+  checki "stack accesses filtered" 0 (Race.num_reports d)
+
+let test_same_thread_no_race () =
+  let d = Race.create () in
+  feed d
+    [
+      acc ~t:0 ~pc:1 ~kind:Trace.Write ~addr:x ~value:1 ();
+      acc ~t:0 ~pc:2 ~kind:Trace.Read ~addr:x ~value:1 ();
+      acc ~t:0 ~pc:3 ~kind:Trace.Write ~addr:x ~value:2 ();
+    ];
+  checki "single thread never races" 0 (Race.num_reports d)
+
+let test_report_dedup () =
+  let d = Race.create () in
+  feed d
+    [
+      acc ~t:0 ~pc:1 ~kind:Trace.Write ~addr:x ~value:1 ();
+      acc ~t:1 ~pc:2 ~kind:Trace.Read ~addr:x ~value:1 ();
+      acc ~t:1 ~pc:2 ~kind:Trace.Read ~addr:x ~value:1 ();
+    ];
+  checki "duplicate pc pair collapsed" 1 (Race.num_reports d)
+
+(* ---------------- oracle mapping ---------------- *)
+
+let race_report a b =
+  { Race.addr = 0x100; write_pc = 1; other_pc = 2; other_kind = Trace.Read;
+    write_ctx = a; other_ctx = b }
+
+let test_oracle_races () =
+  let cases =
+    [
+      ("eth_commit_mac_addr_change", "dev_ifsioc_locked", 9);
+      ("e1000_set_mac", "packet_getname", 8);
+      ("__dev_set_mtu", "rawv6_send_hdrinc", 7);
+      ("fib6_clean_node", "fib6_get_cookie_safe", 10);
+      ("blkdev_ioctl_raset", "generic_fadvise", 5);
+      ("set_blocksize", "do_mpage_readpage", 6);
+      ("configfs_rmdir", "configfs_lookup", 11);
+      ("cache_alloc_refill", "free_block", 13);
+      ("cache_alloc_refill", "cache_alloc_refill", 13);
+      ("tty_port_open", "uart_do_autoconfig", 14);
+      ("snd_ctl_elem_add", "snd_ctl_elem_add", 15);
+      ("tcp_set_default_congestion_control", "tcp_set_congestion_control", 16);
+      ("__fanout_unlink", "fanout_demux_rollover", 17);
+      ("sys_msgctl", "sys_msgget", 1);
+    ]
+  in
+  List.iter
+    (fun (a, b, expect) ->
+      (match Oracle.issue_of_race (race_report a b) with
+      | Some id -> checki (a ^ "/" ^ b) expect id
+      | None -> Alcotest.fail (a ^ "/" ^ b ^ ": no issue"));
+      (* symmetric *)
+      match Oracle.issue_of_race (race_report b a) with
+      | Some id -> checki (b ^ "/" ^ a) expect id
+      | None -> Alcotest.fail (b ^ "/" ^ a ^ ": no issue"))
+    cases;
+  checkb "unknown pair unmapped" true
+    (Oracle.issue_of_race (race_report "foo" "bar") = None)
+
+let test_oracle_console () =
+  let cases =
+    [
+      ("EXT4-fs error (device sda): ext4_iget: checksum invalid for inode 2", 2);
+      ("EXT4-fs error (device sda): ext4_ext_check_inode: inode 3: invalid magic", 3);
+      ("blk_update_request: I/O error, dev sda, sector 40", 4);
+      ("BUG: unable to handle page fault for address: 0x8, ip: sys_msgget", 1);
+      ("BUG: kernel NULL pointer dereference, address: 0x0000, ip: configfs_lookup", 11);
+      ("BUG: kernel NULL pointer dereference, address: 0x0018, ip: spin_lock", 12);
+    ]
+  in
+  List.iter
+    (fun (line, expect) ->
+      match Oracle.issue_of_console line with
+      | Some id -> checki line expect id
+      | None -> Alcotest.fail (line ^ ": unmapped"))
+    cases;
+  checkb "benign console line ignored" true
+    (Oracle.issue_of_console "EXT4-fs mounted filesystem" = None)
+
+let test_oracle_analyze () =
+  let findings =
+    Oracle.analyze
+      ~console:
+        [
+          "BUG: unable to handle page fault for address: 0x8, ip: sys_msgget";
+          "hello world";
+        ]
+      ~races:[ race_report "tty_port_open" "uart_do_autoconfig" ]
+      ~deadlocked:true
+  in
+  checki "three findings" 3 (List.length findings);
+  checkb "issues extracted" true (Oracle.issues findings = [ 1; 14 ])
+
+let test_issue_metadata () =
+  checki "17 issues" 17 (List.length Detectors.Issues.all);
+  checkb "#13 benign" false (Detectors.Issues.harmful 13);
+  checkb "#12 harmful" true (Detectors.Issues.harmful 12);
+  checkb "#10 benign" false (Detectors.Issues.harmful 10);
+  (match Detectors.Issues.find 12 with
+  | Some m ->
+      checkb "#12 is an order violation" true (m.Detectors.Issues.cls = Detectors.Issues.OV)
+  | None -> Alcotest.fail "#12 missing");
+  (* ids are 1..17 with no duplicates *)
+  let ids = List.map (fun m -> m.Detectors.Issues.id) Detectors.Issues.all in
+  checkb "ids complete" true (List.sort compare ids = List.init 17 (fun i -> i + 1))
+
+let tests =
+  [
+    Alcotest.test_case "plain conflicts race" `Quick test_plain_conflict_races;
+    Alcotest.test_case "read/read ok" `Quick test_read_read_no_race;
+    Alcotest.test_case "lock ordering suppresses" `Quick test_lock_ordering_suppresses;
+    Alcotest.test_case "different locks race" `Quick test_different_locks_race;
+    Alcotest.test_case "rcu publish suppresses" `Quick test_rcu_publish_suppresses;
+    Alcotest.test_case "unpublished field races" `Quick test_unpublished_field_races;
+    Alcotest.test_case "marked vs marked ok" `Quick test_marked_vs_marked_ok;
+    Alcotest.test_case "marked vs plain races" `Quick test_marked_vs_plain_races;
+    Alcotest.test_case "partial overlap races" `Quick test_partial_overlap_races;
+    Alcotest.test_case "stack accesses ignored" `Quick test_stack_accesses_ignored;
+    Alcotest.test_case "same thread ok" `Quick test_same_thread_no_race;
+    Alcotest.test_case "report dedup" `Quick test_report_dedup;
+    Alcotest.test_case "oracle race mapping" `Quick test_oracle_races;
+    Alcotest.test_case "oracle console mapping" `Quick test_oracle_console;
+    Alcotest.test_case "oracle analyze" `Quick test_oracle_analyze;
+    Alcotest.test_case "issue metadata" `Quick test_issue_metadata;
+  ]
+
+let () = Alcotest.run "detectors" [ ("race+oracle", tests) ]
