@@ -14,6 +14,7 @@
      extension   - the section 6 three-thread / PMC-chain demonstration
      feedback    - feedback-based exploration (the paper's stated future work)
      ablations   - design-choice ablations from DESIGN.md
+     artifact    - deterministic machine-readable run artifact (BENCH_pipeline.json)
 
    Scaled-down parameters (a few hundred sequential tests rather than
    129,876; minutes rather than machine-weeks) are printed with each
@@ -544,6 +545,47 @@ let ablations () =
     [ 4; 16; 64 ]
 
 (* ------------------------------------------------------------------ *)
+(* E10: machine-readable run artifact                                   *)
+
+(* A small fixed-seed campaign exported through the deterministic JSON
+   mode (wall-clock metrics and span durations omitted), so the artifact
+   is a pure function of the seed and diffs cleanly across commits. *)
+let artifact () =
+  section "E10: deterministic pipeline artifact (BENCH_pipeline.json)";
+  Obs.Metrics.reset ();
+  Obs.Span.reset ();
+  let cfg =
+    {
+      (campaign_cfg Kernel.Config.v5_12_rc3) with
+      Harness.Pipeline.fuzz_iters = 200;
+      trials_per_test = 8;
+    }
+  in
+  let t = Harness.Pipeline.prepare cfg in
+  let stats = Harness.Pipeline.run_campaign t ~budget:40 in
+  let found = [ ("campaign", Harness.Pipeline.issues_union stats) ] in
+  let summary = Harness.Report.json_summary ~pipeline:t ~stats ~found () in
+  let json =
+    Obs.Export.registry_json ~deterministic:true
+      ~extra:[ ("summary", summary) ] ()
+  in
+  let path = "BENCH_pipeline.json" in
+  Obs.Export.write_file path json;
+  (* parse it back: the artifact must stay valid JSON *)
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  (match Obs.Export.of_string s with
+  | Obs.Export.Obj fields ->
+      pf "wrote %s (%d bytes, %d top-level fields, parses back OK)@." path n
+        (List.length fields)
+  | _ -> pf "wrote %s but the top level is not an object@." path);
+  pf "issues found in the scaled-down campaign: [%s]@."
+    (String.concat ", "
+       (List.map string_of_int (Harness.Pipeline.issues_union stats)))
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -557,6 +599,7 @@ let experiments =
     ("extension", extension);
     ("feedback", feedback);
     ("ablations", ablations);
+    ("artifact", artifact);
   ]
 
 let () =

@@ -8,9 +8,73 @@ open Cmdliner
 
 let pf = Format.printf
 
-let setup_logs verbose =
+let setup_logs ?(debug = false) ?(info = false) () =
   Logs.set_reporter (Logs.format_reporter ());
-  Logs.set_level (if verbose then Some Logs.Info else Some Logs.Warning)
+  Logs.set_level
+    (if debug then Some Logs.Debug
+     else if info then Some Logs.Info
+     else Some Logs.Warning)
+
+(* ---------------- observability options ---------------- *)
+
+(* Every subcommand accepts --stats (print the metrics table on exit) and
+   --metrics-out FILE (write the registry + phase spans as JSON).  The
+   artifact is written from an [at_exit] hook so early [exit 1]/[exit 2]
+   paths (repro failures, verify findings) still produce it. *)
+
+type obs = { metrics_out : string option; stats : bool }
+
+(* Extra top-level JSON fields contributed by the running subcommand
+   (campaign adds its table 2/3 summary); read when the artifact is
+   written. *)
+let obs_extra : (string * Obs.Export.json) list ref = ref []
+
+let finish_obs obs =
+  if obs.stats then pf "@.%s@." (Obs.Export.table ());
+  match obs.metrics_out with
+  | Some path -> (
+      try
+        Obs.Export.write_file path
+          (Obs.Export.registry_json ~extra:!obs_extra ());
+        Format.eprintf "metrics written to %s@." path
+      with Sys_error msg ->
+        Format.eprintf "snowboard: cannot write metrics artifact: %s@." msg)
+  | None -> ()
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write every metric and pipeline-phase span as a JSON artifact to \
+           $(docv) on exit.")
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ] ~doc:"Print the metrics table and span tree on exit.")
+
+let obs_term =
+  let combine metrics_out stats =
+    let obs = { metrics_out; stats } in
+    if obs.metrics_out <> None || obs.stats then
+      at_exit (fun () -> finish_obs obs);
+    obs
+  in
+  Term.(const combine $ metrics_out_arg $ stats_arg)
+
+(* --verbose maps to [Logs.Debug] on the snowboard.* sources; the fuzz
+   subcommand reuses its own --verbose flag for the same purpose. *)
+let verbose_log =
+  Arg.(
+    value & flag
+    & info [ "v"; "verbose" ]
+        ~doc:"Enable debug logging on the snowboard.* log sources.")
+
+let logging_term =
+  let setup verbose = setup_logs ~debug:verbose () in
+  Term.(const setup $ verbose_log)
 
 (* ---------------- shared options ---------------- *)
 
@@ -55,7 +119,8 @@ let budget =
 
 (* ---------------- fuzz ---------------- *)
 
-let run_fuzz kernel seed iters verbose out =
+let run_fuzz kernel seed iters verbose out (_ : obs) =
+  setup_logs ~debug:verbose ();
   let env = Sched.Exec.make_env kernel in
   let corpus, steps = Harness.Pipeline.fuzz env ~seed ~iters in
   pf "fuzzing: %d iterations -> corpus of %d tests, %d coverage edges, %d guest instructions@."
@@ -73,7 +138,10 @@ let run_fuzz kernel seed iters verbose out =
   | None -> ()
 
 let verbose =
-  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every corpus entry.")
+  Arg.(
+    value & flag
+    & info [ "v"; "verbose" ]
+        ~doc:"Print every corpus entry and enable debug logging.")
 
 let corpus_out =
   Arg.(
@@ -84,11 +152,13 @@ let corpus_out =
 let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Generate a sequential test corpus (the Syzkaller role).")
-    Term.(const run_fuzz $ version $ seed $ fuzz_iters $ verbose $ corpus_out)
+    Term.(
+      const run_fuzz $ version $ seed $ fuzz_iters $ verbose $ corpus_out
+      $ obs_term)
 
 (* ---------------- identify ---------------- *)
 
-let run_identify kernel seed iters =
+let run_identify kernel seed iters () (_ : obs) =
   let cfg =
     { Harness.Pipeline.default with Harness.Pipeline.kernel; seed; fuzz_iters = iters }
   in
@@ -108,7 +178,8 @@ let identify_cmd =
   Cmd.v
     (Cmd.info "identify"
        ~doc:"Fuzz, profile and identify PMCs; print clustering statistics.")
-    Term.(const run_identify $ version $ seed $ fuzz_iters)
+    Term.(
+      const run_identify $ version $ seed $ fuzz_iters $ logging_term $ obs_term)
 
 (* ---------------- campaign ---------------- *)
 
@@ -162,9 +233,9 @@ let corpus_in =
     & info [ "corpus" ] ~docv:"FILE"
         ~doc:"Seed the fuzzer with a corpus file written by 'fuzz --out'.")
 
-let run_campaign kernel seed iters trials budget methods seeded domains verbose
-    corpus_file =
-  setup_logs verbose;
+let run_campaign kernel seed iters trials budget methods seeded domains log
+    verbose corpus_file (_ : obs) =
+  setup_logs ~debug:verbose ~info:log ();
   let seeds =
     (if seeded then Harness.Pipeline.scenario_seeds () else [])
     @ (match corpus_file with
@@ -193,7 +264,10 @@ let run_campaign kernel seed iters trials budget methods seeded domains verbose
   Harness.Report.table3 stats;
   Harness.Report.accuracy stats;
   let union = Harness.Pipeline.issues_union stats in
-  Harness.Report.table2 ~found:[ ("campaign", union) ]
+  let found = [ ("campaign", union) ] in
+  Harness.Report.table2 ~found;
+  obs_extra :=
+    [ ("summary", Harness.Report.json_summary ~pipeline:t ~stats ~found ()) ]
 
 let campaign_cmd =
   Cmd.v
@@ -201,7 +275,8 @@ let campaign_cmd =
        ~doc:"Run the full pipeline: fuzz, profile, identify, select, execute.")
     Term.(
       const run_campaign $ version $ seed $ fuzz_iters $ trials $ budget
-      $ methods $ seed_corpus_flag $ domains_arg $ log_verbose $ corpus_in)
+      $ methods $ seed_corpus_flag $ domains_arg $ log_verbose $ verbose_log
+      $ corpus_in $ obs_term)
 
 (* ---------------- repro ---------------- *)
 
@@ -228,7 +303,7 @@ let sched_arg =
     & info [ "sched" ] ~docv:"S"
         ~doc:"Scheduler: snowboard, ski, pct or naive.")
 
-let run_repro kernel seed issue sched =
+let run_repro kernel seed issue sched () (_ : obs) =
   match Harness.Scenarios.find issue with
   | None ->
       pf "no scenario for issue #%d@." issue;
@@ -263,7 +338,9 @@ let run_repro kernel seed issue sched =
 let repro_cmd =
   Cmd.v
     (Cmd.info "repro" ~doc:"Reproduce one Table 2 issue from its scenario.")
-    Term.(const run_repro $ version $ seed $ issue_arg $ sched_arg)
+    Term.(
+      const run_repro $ version $ seed $ issue_arg $ sched_arg $ logging_term
+      $ obs_term)
 
 (* ---------------- diagnose ---------------- *)
 
@@ -271,7 +348,7 @@ let repro_cmd =
    print the developer-facing evidence: the replayable trace, the kernel
    console, and a post-mortem diagnosis of each data race (section 4.4.1
    and the section 6 reproduction discussion). *)
-let run_diagnose kernel seed issue =
+let run_diagnose kernel seed issue () (_ : obs) =
   match Harness.Scenarios.find issue with
   | None ->
       pf "no scenario for issue #%d@." issue;
@@ -336,7 +413,8 @@ let diagnose_cmd =
        ~doc:
          "Reproduce an issue, print a replayable interleaving trace and a \
           post-mortem diagnosis of the detected races.")
-    Term.(const run_diagnose $ version $ seed $ issue_arg)
+    Term.(
+      const run_diagnose $ version $ seed $ issue_arg $ logging_term $ obs_term)
 
 (* ---------------- verify ---------------- *)
 
@@ -346,7 +424,7 @@ let bound_arg =
     & info [ "bound" ] ~docv:"N"
         ~doc:"Preemption bound for the exhaustive enumeration.")
 
-let run_verify kernel issue bound =
+let run_verify kernel issue bound () (_ : obs) =
   match Harness.Scenarios.find issue with
   | None ->
       pf "no scenario for issue #%d@." issue;
@@ -383,11 +461,13 @@ let verify_cmd =
          "Exhaustively enumerate all schedules of an issue's scenario within \
           a preemption bound (CHESS-style); proves a patched kernel silent \
           within the bound.")
-    Term.(const run_verify $ version $ issue_arg $ bound_arg)
+    Term.(
+      const run_verify $ version $ issue_arg $ bound_arg $ logging_term
+      $ obs_term)
 
 (* ---------------- three (section 6 extension) ---------------- *)
 
-let run_three kernel seed =
+let run_three kernel seed () (_ : obs) =
   let env = Sched.Exec.make_env kernel in
   let relay op = { Fuzzer.Prog.nr = Kernel.Abi.sys_relay; args = [ Fuzzer.Prog.Const op ] } in
   let progs = [| [ relay 1 ]; [ relay 2 ]; [ relay 3 ] |] in
@@ -436,11 +516,11 @@ let three_cmd =
        ~doc:
          "Run the section 6 extension: three testing threads driven by a \
           PMC chain (the relay order violation).")
-    Term.(const run_three $ version $ seed)
+    Term.(const run_three $ version $ seed $ logging_term $ obs_term)
 
 (* ---------------- issues ---------------- *)
 
-let run_issues () =
+let run_issues () (_ : obs) =
   pf "%-4s %-62s %-14s %-5s %-9s@." "ID" "Summary" "Version" "Type" "Status";
   List.iter
     (fun (m : Detectors.Issues.meta) ->
@@ -452,7 +532,7 @@ let run_issues () =
 
 let issues_cmd =
   Cmd.v (Cmd.info "issues" ~doc:"List the Table 2 ground-truth issues.")
-    Term.(const run_issues $ const ())
+    Term.(const run_issues $ logging_term $ obs_term)
 
 (* ---------------- main ---------------- *)
 

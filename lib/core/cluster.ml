@@ -73,7 +73,8 @@ type clusters = {
   table : (key, Pmc.t list ref) Hashtbl.t;
 }
 
-(* Cluster all identified PMCs under a strategy. *)
+(* Cluster all identified PMCs under a strategy.  Each run feeds the
+   per-strategy cluster-size histogram (Table 3's population shape). *)
 let run strategy (ident : Identify.t) =
   let table = Hashtbl.create 1024 in
   Identify.iter
@@ -85,6 +86,11 @@ let run strategy (ident : Identify.t) =
           | None -> Hashtbl.replace table key (ref [ pmc ]))
         (keys strategy pmc))
     ident;
+  let h =
+    Obs.Metrics.histogram ~unit_:"pmcs"
+      ("snowboard.core/cluster_size." ^ name strategy)
+  in
+  Hashtbl.iter (fun _ pmcs -> Obs.Metrics.observe h (List.length !pmcs)) table;
   { strategy; table }
 
 let num_clusters c = Hashtbl.length c.table

@@ -10,6 +10,10 @@
 
 module Trace = Vmm.Trace
 
+let m_considered = Obs.Metrics.counter "snowboard.core/pmc_pairs_considered"
+let m_kept = Obs.Metrics.counter "snowboard.core/pmcs_kept"
+let m_runs = Obs.Metrics.counter "snowboard.core/identify_runs"
+
 let max_tests_per_entry = 3
 let max_pairs_per_pmc = 8
 
@@ -75,6 +79,7 @@ let run (profiles : Profile.t list) =
     done;
     !lo
   in
+  let considered = ref 0 in
   Array.iter
     (fun (w : entry) ->
       let ws = w.side in
@@ -83,6 +88,7 @@ let run (profiles : Profile.t list) =
       while !i < nr && rarr.(!i).side.Pmc.addr < ws.Pmc.addr + ws.Pmc.size do
         let r = rarr.(!i) in
         incr i;
+        incr considered;
         let rs = r.side in
         if Pmc.values_differ ws rs then begin
           let pmc = Pmc.make ~write:ws ~read:rs ~df_leader:r.df in
@@ -109,6 +115,9 @@ let run (profiles : Profile.t list) =
         end
       done)
     warr;
+  Obs.Metrics.incr m_runs;
+  Obs.Metrics.add m_considered !considered;
+  Obs.Metrics.add m_kept (Hashtbl.length table);
   {
     table;
     write_index;

@@ -8,6 +8,11 @@
 
 module Trace = Vmm.Trace
 
+let m_profiles = Obs.Metrics.counter "snowboard.core/profiles_built"
+
+let h_profile_len =
+  Obs.Metrics.histogram ~unit_:"accesses" "snowboard.core/profile_length"
+
 type entry = { access : Trace.access; df_leader : bool }
 
 type t = { test_id : int; entries : entry array }
@@ -46,6 +51,8 @@ let compute_df (accesses : Trace.access list) =
 let of_accesses ~test_id (accesses : Trace.access list) =
   let shared = List.filter Trace.is_shared accesses in
   let arr, df = compute_df shared in
+  Obs.Metrics.incr m_profiles;
+  Obs.Metrics.observe h_profile_len (Array.length arr);
   {
     test_id;
     entries = Array.mapi (fun i a -> { access = a; df_leader = df.(i) }) arr;

@@ -4,6 +4,18 @@
    that do not correspond to a known issue are kept as [Unknown] findings,
    the analogue of reports that inspection would dismiss. *)
 
+let src = Logs.Src.create "snowboard.detectors" ~doc:"Bug oracles and triage"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let m_invocations = Obs.Metrics.counter "snowboard.detectors/oracle_invocations"
+let m_crashes = Obs.Metrics.counter "snowboard.detectors/findings_crash"
+let m_console = Obs.Metrics.counter "snowboard.detectors/findings_console_error"
+let m_races = Obs.Metrics.counter "snowboard.detectors/findings_data_race"
+let m_deadlocks = Obs.Metrics.counter "snowboard.detectors/findings_deadlock"
+let m_triaged = Obs.Metrics.counter "snowboard.detectors/findings_triaged"
+let m_unknown = Obs.Metrics.counter "snowboard.detectors/findings_unknown"
+
 type kind =
   | Crash of string  (* console BUG line *)
   | Console_error of string  (* filesystem/block error line *)
@@ -80,7 +92,24 @@ let analyze ~console ~races ~deadlocked =
     (fun r -> findings := { issue = issue_of_race r; kind = Data_race r } :: !findings)
     races;
   if deadlocked then findings := { issue = None; kind = Deadlock } :: !findings;
-  List.rev !findings
+  let result = List.rev !findings in
+  Obs.Metrics.incr m_invocations;
+  List.iter
+    (fun f ->
+      (match f.kind with
+      | Crash _ -> Obs.Metrics.incr m_crashes
+      | Console_error _ -> Obs.Metrics.incr m_console
+      | Data_race _ -> Obs.Metrics.incr m_races
+      | Deadlock -> Obs.Metrics.incr m_deadlocks);
+      match f.issue with
+      | Some id ->
+          Obs.Metrics.incr m_triaged;
+          Log.debug (fun m -> m "finding triaged to issue #%d" id)
+      | None ->
+          Obs.Metrics.incr m_unknown;
+          Log.debug (fun m -> m "untriaged finding (noise pool)"))
+    result;
+  result
 
 let issues findings =
   List.filter_map (fun f -> f.issue) findings |> List.sort_uniq compare

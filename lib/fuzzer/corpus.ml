@@ -4,6 +4,15 @@
    subset that contributes new edge coverage, "high coverage but low
    overlap of exercised behaviors" (paper section 4.1). *)
 
+module Log = (val Logs.src_log Gen.src : Logs.LOG)
+
+let m_accepted = Obs.Metrics.counter "snowboard.fuzzer/corpus_accepted"
+let m_rejected = Obs.Metrics.counter "snowboard.fuzzer/corpus_rejected"
+let g_edges = Obs.Metrics.gauge "snowboard.fuzzer/coverage_edges"
+
+let h_new_edges =
+  Obs.Metrics.histogram ~unit_:"edges" "snowboard.fuzzer/new_edges_per_accept"
+
 type entry = { id : int; prog : Prog.t; new_edges : int }
 
 type t = {
@@ -25,16 +34,30 @@ let create () =
    execution covered.  Returns the corpus id if kept. *)
 let consider t prog ~edges =
   let h = Prog.hash prog in
-  if Hashtbl.mem t.seen_progs h then None
+  if Hashtbl.mem t.seen_progs h then begin
+    Obs.Metrics.incr m_rejected;
+    None
+  end
   else begin
     Hashtbl.replace t.seen_progs h ();
     let fresh = List.filter (fun e -> not (Hashtbl.mem t.seen_edges e)) edges in
-    if fresh = [] then None
+    if fresh = [] then begin
+      Obs.Metrics.incr m_rejected;
+      None
+    end
     else begin
       List.iter (fun e -> Hashtbl.replace t.seen_edges e ()) fresh;
       let id = t.count in
       t.count <- t.count + 1;
       t.entries <- { id; prog; new_edges = List.length fresh } :: t.entries;
+      Obs.Metrics.incr m_accepted;
+      Obs.Metrics.observe h_new_edges (List.length fresh);
+      Obs.Metrics.set g_edges (Hashtbl.length t.seen_edges);
+      Log.debug (fun m ->
+          m "corpus accepts test %d (+%d edges, %d total): %s" id
+            (List.length fresh)
+            (Hashtbl.length t.seen_edges)
+            (Prog.to_string prog));
       Some id
     end
   end

@@ -6,6 +6,13 @@
 
 module Abi = Kernel.Abi
 
+let src = Logs.Src.create "snowboard.fuzzer" ~doc:"Sequential-test fuzzing"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let m_generated = Obs.Metrics.counter "snowboard.fuzzer/programs_generated"
+let m_mutated = Obs.Metrics.counter "snowboard.fuzzer/programs_mutated"
+
 type resource = Rfd | Rmsq
 
 type argspec =
@@ -126,6 +133,7 @@ let sample_call rng (earlier : Prog.call list) tmpl =
 
 (* Generate a fresh program of 1 to max_calls calls. *)
 let generate rng : Prog.t =
+  Obs.Metrics.incr m_generated;
   let n = 1 + Random.State.int rng (Prog.max_calls - 1) in
   let rec build acc i =
     if i >= n then List.rev acc
@@ -140,6 +148,7 @@ let template_of_nr nr = List.filter (fun tm -> tm.nr = nr) templates
 (* Mutate a program: replace a call, resample one argument, insert a call,
    or drop a call. *)
 let mutate rng (p : Prog.t) : Prog.t =
+  Obs.Metrics.incr m_mutated;
   if p = [] then generate rng
   else
     let i = Random.State.int rng (List.length p) in

@@ -3,6 +3,9 @@
     resources (file descriptors, message-queue ids) flowing from
     producing calls to consuming ones. *)
 
+val src : Logs.src
+(** The [snowboard.fuzzer] log source, shared with {!Corpus}. *)
+
 type resource = Rfd | Rmsq
 
 type argspec =

@@ -102,17 +102,27 @@ let profile_corpus env corpus =
   in
   (profiles, !steps)
 
+(* The Figure 2 input-side phases, each under its own span so exported
+   artifacts attribute guest instructions and corpus growth per phase. *)
 let prepare cfg =
-  let env = Exec.make_env cfg.kernel in
-  let corpus, fuzz_steps =
-    fuzz ~seeds:cfg.seed_corpus env ~seed:cfg.seed ~iters:cfg.fuzz_iters
-  in
-  let profiles, profile_steps = profile_corpus env corpus in
-  let ident = Core.Identify.run profiles in
-  Log.info (fun m ->
-      m "identification: %d profiles, %d PMCs" (List.length profiles)
-        (Core.Identify.num_pmcs ident));
-  { cfg; env; corpus; profiles; ident; fuzz_steps; profile_steps }
+  Obs.Span.with_span "pipeline.prepare" (fun () ->
+      let env =
+        Obs.Span.with_span "boot" (fun () -> Exec.make_env cfg.kernel)
+      in
+      let corpus, fuzz_steps =
+        Obs.Span.with_span "fuzz" (fun () ->
+            fuzz ~seeds:cfg.seed_corpus env ~seed:cfg.seed ~iters:cfg.fuzz_iters)
+      in
+      let profiles, profile_steps =
+        Obs.Span.with_span "profile" (fun () -> profile_corpus env corpus)
+      in
+      let ident =
+        Obs.Span.with_span "identify" (fun () -> Core.Identify.run profiles)
+      in
+      Log.info (fun m ->
+          m "identification: %d profiles, %d PMCs" (List.length profiles)
+            (Core.Identify.num_pmcs ident));
+      { cfg; env; corpus; profiles; ident; fuzz_steps; profile_steps })
 
 let prog_of_id t id =
   match Fuzzer.Corpus.find t.corpus id with
@@ -135,11 +145,17 @@ type method_stats = {
 }
 
 let run_method ?(kind = Sched.Explore.Snowboard) t method_ ~budget =
+  Obs.Span.with_span
+    ("pipeline.run_method(" ^ Core.Select.method_name method_ ^ ")")
+  @@ fun () ->
   let rng = Random.State.make [| t.cfg.seed + 7919 |] in
   let corpus_ids =
     List.map (fun (e : Fuzzer.Corpus.entry) -> e.id) (Fuzzer.Corpus.to_list t.corpus)
   in
-  let plan = Core.Select.plan method_ t.ident ~corpus_ids rng ~max:budget in
+  let plan =
+    Obs.Span.with_span "select" (fun () ->
+        Core.Select.plan method_ t.ident ~corpus_ids rng ~max:budget)
+  in
   let executed = ref 0
   and hinted = ref 0
   and hint_exercised = ref 0
@@ -148,6 +164,7 @@ let run_method ?(kind = Sched.Explore.Snowboard) t method_ ~budget =
   and total_trials = ref 0
   and total_steps = ref 0 in
   let issues : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  Obs.Span.with_span "execute" @@ fun () ->
   List.iter
     (fun (ct : Core.Select.conc_test) ->
       incr executed;

@@ -74,6 +74,113 @@ let accuracy (stats : Pipeline.method_stats list) =
     (if hinted = 0 then 0. else 100. *. float_of_int hx /. float_of_int hinted);
   hr ()
 
+(* ------------------------------------------------------------------ *)
+(* Machine-readable summary: the JSON counterpart of tables 2 and 3 and
+   the accuracy section, suitable for BENCH_*.json artifacts.            *)
+
+module J = Obs.Export
+
+let json_of_method (s : Pipeline.method_stats) =
+  J.Obj
+    [
+      ("method", J.String (Core.Select.method_name s.Pipeline.method_));
+      ("exemplar_pmcs", J.Int s.Pipeline.num_clusters);
+      ("planned", J.Int s.Pipeline.planned);
+      ("executed", J.Int s.Pipeline.executed);
+      ("hinted", J.Int s.Pipeline.hinted);
+      ("hint_exercised", J.Int s.Pipeline.hint_exercised);
+      ("pmc_observed", J.Int s.Pipeline.pmc_observed);
+      ("unknown_findings", J.Int s.Pipeline.unknown_findings);
+      ("total_trials", J.Int s.Pipeline.total_trials);
+      ("total_steps", J.Int s.Pipeline.total_steps);
+      ( "issues",
+        J.List
+          (List.map
+             (fun (id, at) ->
+               J.Obj [ ("id", J.Int id); ("found_at_test", J.Int at) ])
+             s.Pipeline.issues) );
+    ]
+
+let json_of_issue id =
+  match Detectors.Issues.find id with
+  | None -> J.Obj [ ("id", J.Int id) ]
+  | Some m ->
+      J.Obj
+        [
+          ("id", J.Int m.Detectors.Issues.id);
+          ("summary", J.String m.Detectors.Issues.summary);
+          ("version", J.String m.Detectors.Issues.version);
+          ("class", J.String (Detectors.Issues.cls_name m.Detectors.Issues.cls));
+          ( "status",
+            J.String (Detectors.Issues.status_name m.Detectors.Issues.status) );
+          ( "input",
+            J.String (Detectors.Issues.input_name m.Detectors.Issues.input) );
+          ("harmful", J.Bool (Detectors.Issues.harmful id));
+        ]
+
+let json_accuracy (stats : Pipeline.method_stats list) =
+  let sum f = List.fold_left (fun n s -> n + f s) 0 stats in
+  let all = sum (fun s -> s.Pipeline.executed) in
+  let obs = sum (fun s -> s.Pipeline.pmc_observed) in
+  let hinted = sum (fun s -> s.Pipeline.hinted) in
+  let hx = sum (fun s -> s.Pipeline.hint_exercised) in
+  let pct num den =
+    if den = 0 then J.Float 0.
+    else J.Float (100. *. float_of_int num /. float_of_int den)
+  in
+  J.Obj
+    [
+      ("tested", J.Int all);
+      ("pmc_observed", J.Int obs);
+      ("pmc_observed_pct", pct obs all);
+      ("hinted", J.Int hinted);
+      ("hint_exercised", J.Int hx);
+      ("hint_precision_pct", pct hx hinted);
+    ]
+
+let json_summary ?pipeline ~(stats : Pipeline.method_stats list)
+    ~(found : (string * int list) list) () =
+  let union = List.concat_map snd found |> List.sort_uniq compare in
+  let pipeline_fields =
+    match pipeline with
+    | None -> []
+    | Some (t : Pipeline.t) ->
+        [
+          ( "pipeline",
+            J.Obj
+              [
+                ("corpus_size", J.Int (Fuzzer.Corpus.size t.Pipeline.corpus));
+                ( "coverage_edges",
+                  J.Int (Fuzzer.Corpus.total_edges t.Pipeline.corpus) );
+                ( "profiled_accesses",
+                  J.Int
+                    (List.fold_left
+                       (fun n p -> n + Core.Profile.length p)
+                       0 t.Pipeline.profiles) );
+                ("pmcs", J.Int (Core.Identify.num_pmcs t.Pipeline.ident));
+                ("fuzz_steps", J.Int t.Pipeline.fuzz_steps);
+                ("profile_steps", J.Int t.Pipeline.profile_steps);
+              ] );
+        ]
+  in
+  J.Obj
+    (pipeline_fields
+    @ [
+        ("table3", J.List (List.map json_of_method stats));
+        ("accuracy", json_accuracy stats);
+        ( "table2",
+          J.Obj
+            [
+              ( "by_label",
+                J.Obj
+                  (List.map
+                     (fun (label, ids) ->
+                       (label, J.List (List.map (fun i -> J.Int i) ids)))
+                     found) );
+              ("issues", J.List (List.map json_of_issue union));
+            ] );
+      ])
+
 let pmc_summary (t : Pipeline.t) =
   pf "@.Pipeline summary@.";
   hr ();

@@ -13,3 +13,13 @@ val accuracy : Pipeline.method_stats list -> unit
 
 val pmc_summary : Pipeline.t -> unit
 (** Corpus/profile/identification statistics of a prepared pipeline. *)
+
+val json_summary :
+  ?pipeline:Pipeline.t ->
+  stats:Pipeline.method_stats list ->
+  found:(string * int list) list ->
+  unit ->
+  Obs.Export.json
+(** The machine-readable counterpart of {!table2}, {!table3} and
+    {!accuracy} (plus {!pmc_summary} when [pipeline] is given), built on
+    {!Obs.Export.json} so campaigns can emit BENCH_*.json artifacts. *)

@@ -1,0 +1,40 @@
+(** Rendering the registry as an aligned text table and as deterministic
+    JSON, plus the tiny JSON value type other layers use to build
+    machine-readable artifacts through the same printer. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+
+val to_string : json -> string
+(** Pretty-print with 2-space indentation, fields in the given order, and
+    a trailing newline. *)
+
+exception Parse_error of string
+
+val of_string : string -> json
+(** Parse a JSON document (raises {!Parse_error}); inverse of
+    [to_string] up to whitespace. *)
+
+val metrics_json : ?deterministic:bool -> unit -> json
+(** The registry as a JSON list, sorted by metric name.  In deterministic
+    mode, metrics whose unit is ["us"] (wall clock) are omitted so the
+    output is a pure function of the seed. *)
+
+val spans_json : ?deterministic:bool -> unit -> json
+(** Finished span trees; deterministic mode omits durations. *)
+
+val registry_json :
+  ?deterministic:bool -> ?extra:(string * json) list -> unit -> json
+(** The full artifact: schema tag, metrics, spans and any [extra]
+    top-level fields (e.g. a campaign summary). *)
+
+val table : unit -> string
+(** Aligned text table of every metric followed by the span tree. *)
+
+val write_file : string -> json -> unit

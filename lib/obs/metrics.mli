@@ -1,0 +1,91 @@
+(** Process-wide metrics registry: named counters, gauges and log-scale
+    histograms (stdlib-only, no ocaml-metrics dependency).
+
+    Registration is idempotent per (name, kind): registering an existing
+    name returns the existing handle; registering it under a different
+    kind raises [Invalid_argument].  All mutation is guarded by the global
+    enabled flag, so instrumented code needs no guard of its own, and a
+    disabled registry costs one atomic load per call. *)
+
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+(** Enabled by default.  When disabled, [add], [set] and [observe] are
+    no-ops. *)
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : ?unit_:string -> string -> counter
+
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+
+val counter_value : counter -> int
+
+(** {1 Gauges} *)
+
+type gauge
+
+val gauge : ?unit_:string -> string -> gauge
+
+val set : gauge -> int -> unit
+
+val gauge_value : gauge -> int
+
+(** {1 Histograms}
+
+    Log-scale (power-of-two buckets): an observation [v] lands in the
+    first bucket whose upper bound [2^i] is >= [v].  Suited to latency /
+    size / step-count distributions spanning orders of magnitude. *)
+
+type histogram
+
+val histogram : ?unit_:string -> string -> histogram
+
+val observe : histogram -> int -> unit
+
+val hist_count : histogram -> int
+
+val hist_sum : histogram -> int
+
+val hist_min : histogram -> int
+
+val hist_max : histogram -> int
+
+val hist_mean : histogram -> float
+
+val quantile : histogram -> float -> int
+(** [quantile h q] is the upper bound of the first bucket whose cumulative
+    population reaches [q * count], clamped to the observed maximum - an
+    upper bound within one power of two of the exact q-quantile. *)
+
+(** {1 Registry snapshots} *)
+
+type hist_snapshot = {
+  count : int;
+  sum : int;
+  min_ : int;
+  max_ : int;
+  p50 : int;
+  p90 : int;
+  p99 : int;
+}
+
+type sample_value =
+  | Sample_counter of int
+  | Sample_gauge of int
+  | Sample_hist of hist_snapshot
+
+type sample = { name : string; unit_ : string option; value : sample_value }
+
+val dump : unit -> sample list
+(** All registered metrics with their current values, sorted by name. *)
+
+val counter_values : unit -> (string * int) list
+(** Current counter values only (unsorted); used for span deltas. *)
+
+val reset : unit -> unit
+(** Zero every registered metric; existing handles remain valid. *)

@@ -1,0 +1,32 @@
+(** Nested wall-clock phase spans with parent attribution and per-span
+    counter deltas.  Not domain-safe: spans belong to the orchestration
+    layer; worker domains should only touch {!Metrics}. *)
+
+type span = {
+  name : string;
+  dur_us : int;  (** wall-clock duration in microseconds, always >= 1 *)
+  children : span list;  (** in execution order *)
+  deltas : (string * int) list;
+      (** counters that grew while the span was open, with their growth,
+          sorted by name *)
+}
+
+val start : string -> unit
+(** Open a span; it becomes a child of the innermost open span, if any.
+    A no-op when metrics are disabled. *)
+
+val stop : unit -> unit
+(** Close the innermost open span (no-op on an empty stack). *)
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f] inside a span; the span is closed even if
+    [f] raises.  When metrics are disabled this is exactly [f ()]. *)
+
+val roots : unit -> span list
+(** All finished top-level spans, oldest first. *)
+
+val reset : unit -> unit
+(** Drop all finished spans and abandon any open ones. *)
+
+val depth : span -> int
+(** Height of a span tree (a leaf has depth 1). *)

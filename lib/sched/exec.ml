@@ -17,6 +17,25 @@ module Asm = Vmm.Asm
 module Trace = Vmm.Trace
 module Isa = Vmm.Isa
 
+let src = Logs.Src.create "snowboard.sched" ~doc:"Test execution and scheduling"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* Registry handles.  The executor's inner loops never touch these; all
+   observations happen once per run (run boundaries), so disabled
+   collection adds no measurable cost to the hot loops. *)
+let m_seq_runs = Obs.Metrics.counter "snowboard.sched/seq_runs"
+let m_conc_runs = Obs.Metrics.counter "snowboard.sched/conc_runs"
+let m_preemptions = Obs.Metrics.counter "snowboard.sched/preemptions_injected"
+let m_schedule_points = Obs.Metrics.counter "snowboard.sched/schedule_points"
+let m_deadlocks = Obs.Metrics.counter "snowboard.sched/deadlocks"
+
+let h_seq_steps =
+  Obs.Metrics.histogram ~unit_:"instr" "snowboard.vmm/seq_run_steps"
+
+let h_conc_steps =
+  Obs.Metrics.histogram ~unit_:"instr" "snowboard.vmm/conc_run_steps"
+
 type env = { kern : Kernel.t; vm : Vm.t; snap : Vm.snap }
 
 let make_env cfg =
@@ -193,6 +212,8 @@ let run_seq env ~tid (prog : Fuzzer.Prog.t) =
          done)
        prog
    with Exit -> ());
+  Obs.Metrics.incr m_seq_runs;
+  Obs.Metrics.observe h_seq_steps !steps;
   {
     sq_accesses = List.rev !accesses;
     sq_console = Vm.console_lines env.vm;
@@ -258,6 +279,7 @@ let run_multi env ~(progs : Fuzzer.Prog.t array) ~(policy : policy)
   let image = env.kern.Kernel.image in
   let steps = ref 0 in
   let switches = ref 0 in
+  let sched_points = ref 0 in  (* switch requests issued by the policy *)
   let deadlocked = ref false in
   let pause_streak = ref 0 in
   let runnable tid =
@@ -334,6 +356,7 @@ let run_multi env ~(progs : Fuzzer.Prog.t array) ~(policy : policy)
          finish_check tid;
          if Vm.panicked env.vm then raise Exit;
          let want = policy.decide tid evs in
+         if want then incr sched_points;
          if !paused then begin
            (* the is_live heuristic: a spinning thread must yield *)
            match next_runnable tid with
@@ -360,6 +383,15 @@ let run_multi env ~(progs : Fuzzer.Prog.t array) ~(policy : policy)
        end
      done
    with Exit -> ());
+  Obs.Metrics.incr m_conc_runs;
+  Obs.Metrics.add m_preemptions !switches;
+  Obs.Metrics.add m_schedule_points !sched_points;
+  if !deadlocked then Obs.Metrics.incr m_deadlocks;
+  Obs.Metrics.observe h_conc_steps !steps;
+  if !deadlocked then
+    Log.debug (fun m ->
+        m "concurrent run hit the budget or deadlocked after %d steps, %d switches"
+          !steps !switches);
   {
     cc_console = Vm.console_lines env.vm;
     cc_panicked = Vm.panicked env.vm;

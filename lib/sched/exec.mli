@@ -6,6 +6,10 @@
     attributes every access to the innermost non-helper kernel function,
     which is how the race detector and the oracle name racing code. *)
 
+val src : Logs.src
+(** The [snowboard.sched] log source, shared by the execution and
+    exploration layers. *)
+
 type env = { kern : Kernel.t; vm : Vmm.Vm.t; snap : Vmm.Vm.snap }
 
 val make_env : Kernel.Config.t -> env

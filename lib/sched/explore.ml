@@ -8,6 +8,13 @@
 
 module Trace = Vmm.Trace
 
+module Log = (val Logs.src_log Exec.src : Logs.LOG)
+
+let m_trials = Obs.Metrics.counter "snowboard.sched/trials"
+let m_hint_hits = Obs.Metrics.counter "snowboard.sched/hint_window_hits"
+let m_hint_misses = Obs.Metrics.counter "snowboard.sched/hint_window_misses"
+let m_incidental = Obs.Metrics.counter "snowboard.sched/incidental_pmcs_adopted"
+
 type kind =
   | Snowboard  (* Algorithm 2 with the PMC as scheduling hint *)
   | Ski  (* instruction-triggered yields, no memory-target check *)
@@ -101,6 +108,10 @@ let run (env : Exec.env) ~(ident : Core.Identify.t option)
        in
        let issues = Detectors.Oracle.issues findings in
        let exercised = channel_exercised hint res in
+       Obs.Metrics.incr m_trials;
+       if hint <> None then
+         if exercised then Obs.Metrics.incr m_hint_hits
+         else Obs.Metrics.incr m_hint_misses;
        if exercised then any_exercised := true;
        total_steps := !total_steps + res.Exec.cc_steps;
        total_switches := !total_switches + res.Exec.cc_switches;
@@ -114,6 +125,10 @@ let run (env : Exec.env) ~(ident : Core.Identify.t option)
        in
        if hit && !first_bug = None then begin
          first_bug := Some (trial + 1);
+         Log.info (fun m ->
+             m "%s: first finding on trial %d (issues [%s])" (kind_name kind)
+               (trial + 1)
+               (String.concat ", " (List.map string_of_int issues)));
          if stop_on_bug then raise Exit
        end;
        (* incidental PMC discovery (Algorithm 2 lines 26-27).  The set of
@@ -158,9 +173,14 @@ let run (env : Exec.env) ~(ident : Core.Identify.t option)
                        all_reads)
                    l
                then any_pmc_observed := true;
-               if kind = Snowboard then
+               if kind = Snowboard then begin
                  let p = List.nth l (Random.State.int rng (List.length l)) in
-                 Policies.add_pmc st p)
+                 Obs.Metrics.incr m_incidental;
+                 Log.debug (fun m ->
+                     m "trial %d adopts incidental PMC %a" (trial + 1)
+                       Core.Pmc.pp p);
+                 Policies.add_pmc st p
+               end)
        | None -> ())
      done
    with Exit -> ());

@@ -8,6 +8,19 @@
    per [step] call, on the requested vCPU only, and returns every event the
    instruction produced. *)
 
+let src = Logs.Src.create "snowboard.vmm" ~doc:"Guest machine (hypervisor side)"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* Host-side statistics.  The hot loop only ever bumps plain int fields
+   (like the pre-existing step counter); the atomic registry counters are
+   touched at run boundaries (snapshot/restore), so disabled collection
+   costs nothing measurable per instruction. *)
+let m_instructions = Obs.Metrics.counter "snowboard.vmm/instructions_retired"
+let m_accesses = Obs.Metrics.counter "snowboard.vmm/accesses_traced"
+let m_snapshot_saves = Obs.Metrics.counter "snowboard.vmm/snapshot_saves"
+let m_snapshot_restores = Obs.Metrics.counter "snowboard.vmm/snapshot_restores"
+
 type mode = Kernel | User | Dead
 
 type cpu = { regs : int array; mutable pc : int; mutable mode : mode }
@@ -34,6 +47,9 @@ type t = {
   mutable panicked : bool;
   coverage : (int, unit) Hashtbl.t;
   mutable steps : int;
+  mutable accesses : int;  (* traced accesses since creation *)
+  mutable steps_flushed : int;  (* already forwarded to the registry *)
+  mutable accesses_flushed : int;
 }
 
 exception Fault of int
@@ -56,7 +72,18 @@ let create image =
     panicked = false;
     coverage = Hashtbl.create 4096;
     steps = 0;
+    accesses = 0;
+    steps_flushed = 0;
+    accesses_flushed = 0;
   }
+
+(* Forward the per-machine deltas to the process-wide registry; called at
+   run boundaries only. *)
+let flush_stats t =
+  Obs.Metrics.add m_instructions (t.steps - t.steps_flushed);
+  Obs.Metrics.add m_accesses (t.accesses - t.accesses_flushed);
+  t.steps_flushed <- t.steps;
+  t.accesses_flushed <- t.accesses
 
 (* Snapshots copy all guest-visible state: kernel memory, user memories,
    vCPU registers and modes, console and panic flag.  Coverage and the
@@ -70,6 +97,9 @@ type snap = {
 }
 
 let snapshot t =
+  flush_stats t;
+  Obs.Metrics.incr m_snapshot_saves;
+  Log.debug (fun m -> m "snapshot taken at %d steps" t.steps);
   {
     s_kmem = Bytes.copy t.kmem;
     s_umem = Array.map Bytes.copy t.umem;
@@ -80,6 +110,8 @@ let snapshot t =
   }
 
 let restore t s =
+  flush_stats t;
+  Obs.Metrics.incr m_snapshot_restores;
   Bytes.blit s.s_kmem 0 t.kmem 0 Layout.kmem_size;
   Array.iteri (fun i u -> Bytes.blit u 0 t.umem.(i) 0 Layout.user_size) s.s_umem;
   Array.iteri
@@ -205,7 +237,7 @@ let image t = t.image
 let operand c = function Isa.Imm i -> i | Isa.Reg r -> c.regs.(r)
 
 let access t tid c ~addr ~size ~kind ~value ~atomic =
-  ignore t;
+  t.accesses <- t.accesses + 1;
   Eaccess
     {
       Trace.thread = tid;
@@ -361,6 +393,7 @@ let step t tid =
             add_console t line;
             t.panicked <- true;
             c.mode <- Dead;
+            Log.debug (fun m -> m "vCPU %d panic at pc %d: %s" tid pc line);
             [ Econsole line; Epanic line ]
         | Isa.Hlock_acq -> [ Elock (`Acq, c.regs.(0)) ]
         | Isa.Hlock_rel -> [ Elock (`Rel, c.regs.(0)) ]
@@ -376,4 +409,5 @@ let step t tid =
     add_console t line;
     t.panicked <- true;
     c.mode <- Dead;
+    Log.debug (fun m -> m "vCPU %d fault at pc %d (%s): %s" tid pc fn line);
     [ Efault addr; Econsole line; Epanic line ]
