@@ -15,6 +15,7 @@
      feedback    - feedback-based exploration (the paper's stated future work)
      ablations   - design-choice ablations from DESIGN.md
      artifact    - deterministic machine-readable run artifact (BENCH_pipeline.json)
+     tracing     - flight-recorder overhead + Chrome trace artifact (BENCH_trace.json)
 
    Scaled-down parameters (a few hundred sequential tests rather than
    129,876; minutes rather than machine-weeks) are printed with each
@@ -586,6 +587,93 @@ let artifact () =
        (List.map string_of_int (Harness.Pipeline.issues_union stats)))
 
 (* ------------------------------------------------------------------ *)
+(* E11: flight-recorder overhead and trace artifact                     *)
+
+(* The recorder must be cheap enough to leave on during exploration:
+   measure the same fixed workload with the ring disabled and enabled,
+   then export one deterministic bug replay as BENCH_trace.json
+   (Chrome trace-event format, Perfetto-viewable). *)
+let tracing () =
+  section "E11: flight-recorder overhead + trace artifact (BENCH_trace.json)";
+  let env = Sched.Exec.make_env Kernel.Config.all_buggy in
+  let s = Option.get (Harness.Scenarios.find 1) in
+  let writer = s.Harness.Scenarios.writer
+  and reader = s.Harness.Scenarios.reader in
+  let run_once seed =
+    let rng = Random.State.make [| seed |] in
+    ignore
+      (Sched.Exec.run_conc env ~writer ~reader
+         ~policy:(Sched.Policies.naive rng ~period:4) ())
+  in
+  let reps = 400 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  (* warm up the snapshot caches so both measurements see the same state *)
+  run_once 0;
+  Obs.Event.configure ~enabled:false ();
+  let dt_off = time (fun () -> for i = 1 to reps do run_once i done) in
+  Obs.Event.configure ~deterministic:true ~enabled:true ();
+  let dt_on = time (fun () -> for i = 1 to reps do run_once i done) in
+  let events = Obs.Event.seen () in
+  pf "%d executions: %.3fs recorder off, %.3fs recorder on (%.1f%% overhead)@."
+    reps dt_off dt_on
+    (100. *. (dt_on -. dt_off) /. max 1e-9 dt_off);
+  pf "%d events recorded (%.0f events/sec; ring dropped %d)@." events
+    (float_of_int events /. max 1e-9 dt_on)
+    (Obs.Event.dropped ());
+  (* artifact: one deterministic replay of the Figure 4 bug, exported as
+     a Chrome trace.  Hunt for the bug once, then re-execute its recorded
+     trace with the ring armed. *)
+  let ident, hints = Harness.Scenarios.identify env s in
+  let found = ref None in
+  List.iteri
+    (fun i hint ->
+      if !found = None then begin
+        let r =
+          Sched.Explore.run env ~ident:(Some ident) ~writer ~reader
+            ~hint:(Some hint) ~kind:Sched.Explore.Snowboard ~trials:64
+            ~seed:(1001 + i) ~target_issue:(Some 1) ~stop_on_bug:true ()
+        in
+        match
+          List.find_opt
+            (fun (t : Sched.Explore.trial) -> t.Sched.Explore.issues <> [])
+            r.Sched.Explore.trials
+        with
+        | Some t -> found := Some t.Sched.Explore.replay
+        | None -> ()
+      end)
+    hints;
+  (match !found with
+  | None -> pf "bug #1 not reproduced in the hint budget; no trace written@."
+  | Some trace ->
+      Obs.Event.configure ~deterministic:true ~enabled:true ();
+      ignore
+        (Sched.Exec.run_conc env ~writer ~reader
+           ~policy:(Sched.Replay.replay trace) ());
+      let evs = Obs.Event.events () in
+      let json =
+        Obs.Timeline.chrome_json
+          ~extra:
+            [ ("replay", Obs.Export.String (Sched.Replay.to_string trace)) ]
+          evs
+      in
+      let path = "BENCH_trace.json" in
+      Obs.Export.write_file path json;
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let body = really_input_string ic n in
+      close_in ic;
+      (match Obs.Export.of_string_opt body with
+      | Some (Obs.Export.Obj _) ->
+          pf "wrote %s (%d bytes, %d events, parses back OK)@." path n
+            (List.length evs)
+      | _ -> pf "wrote %s but it does not parse back as a JSON object@." path));
+  Obs.Event.configure ~enabled:false ()
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -600,6 +688,7 @@ let experiments =
     ("feedback", feedback);
     ("ablations", ablations);
     ("artifact", artifact);
+    ("tracing", tracing);
   ]
 
 let () =

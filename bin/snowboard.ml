@@ -367,6 +367,7 @@ let run_diagnose kernel seed issue () (_ : obs) =
               let race = Detectors.Race.create () in
               let observer =
                 {
+                  Sched.Exec.default_observer with
                   Sched.Exec.on_access =
                     (fun a ~ctx -> Detectors.Race.on_access race a ~ctx);
                 }
@@ -398,11 +399,36 @@ let run_diagnose kernel seed issue () (_ : obs) =
             (Sched.Replay.num_switches trace);
           pf "  %s@." (Sched.Replay.to_string trace);
           List.iter (fun l -> pf "console: %s@." l) res.Sched.Exec.cc_console;
+          (* re-execute the recorded interleaving with the flight
+             recorder on, so each diagnosis carries the event trace *)
+          Obs.Event.configure ~deterministic:true ~enabled:true ();
+          ignore
+            (Sched.Exec.run_conc env ~writer:s.Harness.Scenarios.writer
+               ~reader:s.Harness.Scenarios.reader
+               ~policy:(Sched.Replay.replay trace) ());
+          let events = Obs.Event.events () in
+          Obs.Event.configure ~enabled:false ();
+          (* surface the bug in the --metrics-out artifact so `snowboard
+             explain --replay <artifact>` can pick it up directly *)
+          let bug =
+            {
+              Harness.Pipeline.br_issues = [ issue ];
+              br_test = 0;
+              br_trial = 0;
+              br_writer = s.Harness.Scenarios.writer;
+              br_reader = s.Harness.Scenarios.reader;
+              br_replay = Sched.Replay.to_string trace;
+            }
+          in
+          obs_extra :=
+            ("bugs", Obs.Export.List [ Harness.Report.json_of_bug bug ])
+            :: !obs_extra;
           List.iter
             (fun r ->
               let d =
                 Detectors.Postmortem.diagnose
-                  ~image:env.Sched.Exec.kern.Kernel.image ~ident r
+                  ~image:env.Sched.Exec.kern.Kernel.image ~ident
+                  ~replay:(Sched.Replay.to_string trace) ~events r
               in
               pf "@.%a@." Detectors.Postmortem.pp d)
             races)
@@ -415,6 +441,257 @@ let diagnose_cmd =
           post-mortem diagnosis of the detected races.")
     Term.(
       const run_diagnose $ version $ seed $ issue_arg $ logging_term $ obs_term)
+
+(* ---------------- explain ---------------- *)
+
+(* Re-execute a recorded interleaving from the boot snapshot with the
+   flight recorder on, and render what happened: a Chrome trace-event
+   JSON (Perfetto / chrome://tracing) and the two-column plain-text
+   interleaving report.  The input is either a campaign report (the
+   --metrics-out JSON, whose bug entries carry writer/reader/replay) or a
+   raw replay trace plus --issue for the scenario programs. *)
+
+module J = Obs.Export
+
+let fail_cli fmt =
+  Format.kasprintf
+    (fun msg ->
+      Format.eprintf "snowboard: %s@." msg;
+      exit 1)
+    fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let jfield k = function J.Obj l -> List.assoc_opt k l | _ -> None
+let jstring = function Some (J.String s) -> Some s | _ -> None
+
+(* The "bugs" list of a report document: at the top level (json_summary)
+   or under "summary" (the --metrics-out artifact wraps it there). *)
+let bugs_of_report doc =
+  match jfield "bugs" doc with
+  | Some (J.List l) -> Some l
+  | _ -> (
+      match jfield "summary" doc with
+      | Some summary -> (
+          match jfield "bugs" summary with
+          | Some (J.List l) -> Some l
+          | _ -> None)
+      | None -> None)
+
+let bug_matches issue b =
+  match issue with
+  | None -> true
+  | Some id -> (
+      match jfield "issues" b with
+      | Some (J.List l) -> List.mem (J.Int id) l
+      | _ -> false)
+
+type explain_input = {
+  ei_writer : Fuzzer.Prog.t;
+  ei_reader : Fuzzer.Prog.t;
+  ei_trace : Sched.Replay.trace;
+  ei_issues : int list;  (* the stored verdict; [] when unknown *)
+}
+
+let input_of_bug b =
+  let get k = jstring (jfield k b) in
+  match (get "writer", get "reader", get "replay") with
+  | Some w, Some r, Some t -> (
+      match
+        (Fuzzer.Prog.of_line w, Fuzzer.Prog.of_line r, Sched.Replay.of_string t)
+      with
+      | Some writer, Some reader, Some trace ->
+          let issues =
+            match jfield "issues" b with
+            | Some (J.List l) ->
+                List.filter_map (function J.Int i -> Some i | _ -> None) l
+            | _ -> []
+          in
+          Ok
+            {
+              ei_writer = writer;
+              ei_reader = reader;
+              ei_trace = trace;
+              ei_issues = issues;
+            }
+      | None, _, _ -> Error "malformed writer program in bug report"
+      | _, None, _ -> Error "malformed reader program in bug report"
+      | _, _, None -> Error "malformed replay trace in bug report"
+      )
+  | _ -> Error "bug report lacks writer/reader/replay fields"
+
+let resolve_explain_input ~issue replay_arg =
+  let from_raw_trace s =
+    let s = String.trim s in
+    match Sched.Replay.of_string s with
+    | None ->
+        fail_cli "cannot parse replay trace %S (expected \"FIRST:0101...\")" s
+    | Some trace -> (
+        match issue with
+        | None ->
+            fail_cli
+              "a raw replay trace needs --issue to supply the scenario \
+               programs"
+        | Some id -> (
+            match Harness.Scenarios.find id with
+            | None -> fail_cli "no scenario for issue #%d" id
+            | Some sc ->
+                {
+                  ei_writer = sc.Harness.Scenarios.writer;
+                  ei_reader = sc.Harness.Scenarios.reader;
+                  ei_trace = trace;
+                  ei_issues = [ id ];
+                }))
+  in
+  if Sys.file_exists replay_arg then
+    let contents = read_file replay_arg in
+    match J.of_string_opt contents with
+    | Some doc -> (
+        match bugs_of_report doc with
+        | None ->
+            fail_cli "%s: no \"bugs\" list in this JSON (run a campaign with \
+                      --metrics-out to produce one)"
+              replay_arg
+        | Some bugs -> (
+            match List.filter (bug_matches issue) bugs with
+            | [] ->
+                fail_cli "%s: no stored bug report%s" replay_arg
+                  (match issue with
+                  | Some id -> Printf.sprintf " for issue #%d" id
+                  | None -> "")
+            | b :: _ -> (
+                match input_of_bug b with
+                | Ok i -> i
+                | Error msg -> fail_cli "%s: %s" replay_arg msg)))
+    | None -> from_raw_trace contents
+  else from_raw_trace replay_arg
+
+let replay_arg_t =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "replay" ] ~docv:"TRACE|FILE"
+        ~doc:
+          "What to re-execute: a campaign report JSON (--metrics-out), a \
+           file holding a replay trace, or the trace itself \
+           (\"FIRST:0101...\").")
+
+let issue_opt_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "issue" ] ~docv:"N"
+        ~doc:
+          "Select the stored bug for this Table 2 issue (with a report), or \
+           name the scenario whose programs a raw trace drives.")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the Chrome trace-event JSON here (open in Perfetto or \
+           chrome://tracing).")
+
+let text_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "text-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the plain-text interleaving report here instead of stdout.")
+
+let run_explain kernel replay_arg issue trace_out text_out () (_ : obs) =
+  let input = resolve_explain_input ~issue replay_arg in
+  (* deterministic recording: virtual-clock stamps only, so the emitted
+     trace is byte-stable across runs *)
+  Obs.Event.configure ~deterministic:true ~enabled:true ();
+  let env = Sched.Exec.make_env kernel in
+  let race = Detectors.Race.create () in
+  let observer =
+    {
+      Sched.Exec.default_observer with
+      Sched.Exec.on_access = (fun a ~ctx -> Detectors.Race.on_access race a ~ctx);
+    }
+  in
+  let res =
+    Sched.Exec.run_conc env ~writer:input.ei_writer ~reader:input.ei_reader
+      ~policy:(Sched.Replay.replay input.ei_trace)
+      ~observer ()
+  in
+  let races = Detectors.Race.reports race in
+  let findings =
+    Detectors.Oracle.analyze ~console:res.Sched.Exec.cc_console ~races
+      ~deadlocked:res.Sched.Exec.cc_deadlocked
+  in
+  let events = Obs.Event.events () in
+  let issues = Detectors.Oracle.issues findings in
+  pf "replayed %d decisions (%d switches): %d guest steps, %d findings@."
+    (Sched.Replay.length input.ei_trace)
+    (Sched.Replay.num_switches input.ei_trace)
+    res.Sched.Exec.cc_steps (List.length findings);
+  List.iter
+    (fun (f : Detectors.Oracle.finding) ->
+      pf "  %a@." Detectors.Oracle.pp_kind f.Detectors.Oracle.kind)
+    findings;
+  let replay_str = Sched.Replay.to_string input.ei_trace in
+  List.iter
+    (fun r ->
+      let d =
+        Detectors.Postmortem.diagnose ~image:env.Sched.Exec.kern.Kernel.image
+          ~replay:replay_str ~events r
+      in
+      pf "@.%a@." Detectors.Postmortem.pp d)
+    races;
+  (match trace_out with
+  | Some path ->
+      let doc =
+        Obs.Timeline.chrome_json
+          ~extra:
+            [
+              ("replay", J.String replay_str);
+              ("writer", J.String (Fuzzer.Prog.to_line input.ei_writer));
+              ("reader", J.String (Fuzzer.Prog.to_line input.ei_reader));
+            ]
+          events
+      in
+      J.write_file path doc;
+      pf "Chrome trace written to %s (%d events)@." path (List.length events)
+  | None -> ());
+  (match text_out with
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (Obs.Timeline.interleaving events));
+      pf "interleaving report written to %s@." path
+  | None -> pf "@.%s@." (Obs.Timeline.interleaving events));
+  Obs.Event.configure ~enabled:false ();
+  (* the acceptance check: the stored verdict must reproduce *)
+  if input.ei_issues <> [] && not (List.exists (fun id -> List.mem id issues) input.ei_issues)
+  then begin
+    Format.eprintf
+      "snowboard: stored verdict (issues [%s]) did not reproduce (got [%s])@."
+      (String.concat ", " (List.map string_of_int input.ei_issues))
+      (String.concat ", " (List.map string_of_int issues));
+    exit 2
+  end
+
+let explain_cmd =
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Re-execute a recorded interleaving from the boot snapshot and \
+          export its flight-recorder trace: Chrome trace-event JSON and a \
+          two-column interleaving report.")
+    Term.(
+      const run_explain $ version $ replay_arg_t $ issue_opt_arg
+      $ trace_out_arg $ text_out_arg $ logging_term $ obs_term)
 
 (* ---------------- verify ---------------- *)
 
@@ -548,5 +825,5 @@ let () =
        (Cmd.group info
           [
             fuzz_cmd; identify_cmd; campaign_cmd; repro_cmd; diagnose_cmd;
-            verify_cmd; three_cmd; issues_cmd;
+            explain_cmd; verify_cmd; three_cmd; issues_cmd;
           ]))

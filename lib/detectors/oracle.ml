@@ -101,6 +101,25 @@ let analyze ~console ~races ~deadlocked =
       | Console_error _ -> Obs.Metrics.incr m_console
       | Data_race _ -> Obs.Metrics.incr m_races
       | Deadlock -> Obs.Metrics.incr m_deadlocks);
+      if Obs.Event.enabled () then
+        Obs.Event.emit ~tid:Obs.Event.sched_tid
+          (Obs.Event.Verdict
+             {
+               kind =
+                 (match f.kind with
+                 | Crash _ -> "crash"
+                 | Console_error _ -> "console-error"
+                 | Data_race _ -> "data-race"
+                 | Deadlock -> "deadlock");
+               issue = f.issue;
+               detail =
+                 (match f.kind with
+                 | Crash l | Console_error l -> l
+                 | Data_race r ->
+                     Printf.sprintf "%s / %s @ 0x%x" r.Race.write_ctx
+                       r.Race.other_ctx r.Race.addr
+                 | Deadlock -> "budget exhausted or all threads blocked");
+             });
       match f.issue with
       | Some id ->
           Obs.Metrics.incr m_triaged;

@@ -14,6 +14,9 @@ type diagnosis = {
   region : string option;  (* named kernel object, if a global *)
   predicted : bool;  (* a PMC predicted this instruction pair *)
   issue : int option;  (* ground-truth triage, if any *)
+  replay : string option;
+      (* serialised Sched.Replay trace reproducing the interleaving *)
+  events : Obs.Event.t list;  (* flight-recorder trace of the trial *)
 }
 
 (* Does some identified PMC connect exactly this instruction pair (in
@@ -33,7 +36,7 @@ let pmc_predicts (ident : Core.Identify.t) (r : Race.report) =
   !hit
 
 let diagnose ~(image : Vmm.Asm.image) ?(ident : Core.Identify.t option)
-    (r : Race.report) =
+    ?replay ?(events = []) (r : Race.report) =
   {
     race = r;
     write_fn = Vmm.Asm.func_name image r.Race.write_pc;
@@ -41,6 +44,8 @@ let diagnose ~(image : Vmm.Asm.image) ?(ident : Core.Identify.t option)
     region = Option.map (fun reg -> reg.Vmm.Asm.name) (Vmm.Asm.region_of_addr image r.Race.addr);
     predicted = (match ident with Some i -> pmc_predicts i r | None -> false);
     issue = Oracle.issue_of_race r;
+    replay;
+    events;
   }
 
 let pp ppf d =
@@ -54,4 +59,7 @@ let pp ppf d =
     d.other_fn d.race.Race.other_pc d.race.Race.other_ctx d.predicted
     (match d.issue with
     | Some id -> Printf.sprintf "triaged as Table 2 issue #%d" id
-    | None -> "untriaged (new report)")
+    | None -> "untriaged (new report)");
+  match d.replay with
+  | Some t -> Format.fprintf ppf "@,  replay trace: %s" t
+  | None -> ()

@@ -9,11 +9,22 @@ type diagnosis = {
   region : string option;  (** named kernel object, if a global *)
   predicted : bool;  (** a PMC predicted this instruction pair *)
   issue : int option;  (** ground-truth triage, if any *)
+  replay : string option;
+      (** serialised [Sched.Replay] trace that reproduces the
+          interleaving ([Replay.to_string] form) *)
+  events : Obs.Event.t list;
+      (** flight-recorder trace of the buggy trial, when recording was
+          enabled ({!Obs.Event}); renderable with {!Obs.Timeline} *)
 }
 
 val pmc_predicts : Core.Identify.t -> Race.report -> bool
 
 val diagnose :
-  image:Vmm.Asm.image -> ?ident:Core.Identify.t -> Race.report -> diagnosis
+  image:Vmm.Asm.image ->
+  ?ident:Core.Identify.t ->
+  ?replay:string ->
+  ?events:Obs.Event.t list ->
+  Race.report ->
+  diagnosis
 
 val pp : Format.formatter -> diagnosis -> unit

@@ -70,7 +70,10 @@ let execute t ~writer ~reader ~hint ~ident ~trials ~seed =
     let policy = Sched.Policies.snowboard rng st in
     let race = Detectors.Race.create () in
     let observer =
-      { Exec.on_access = (fun a ~ctx -> Detectors.Race.on_access race a ~ctx) }
+      {
+        Exec.default_observer with
+        Exec.on_access = (fun a ~ctx -> Detectors.Race.on_access race a ~ctx);
+      }
     in
     let res = Exec.run_conc t.env ~writer ~reader ~policy ~observer () in
     Hashtbl.iter

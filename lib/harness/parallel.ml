@@ -23,6 +23,7 @@ type shard_result = {
   sr_unknown : int;
   sr_trials : int;
   sr_steps : int;
+  sr_bugs : Pipeline.bug_report list;  (* br_test is the global index *)
 }
 
 let run_shard ~(cfg : Pipeline.config) ~(ident : Core.Identify.t)
@@ -37,6 +38,7 @@ let run_shard ~(cfg : Pipeline.config) ~(ident : Core.Identify.t)
   and unknown = ref 0
   and trials = ref 0
   and steps = ref 0 in
+  let bugs = ref [] in
   let issues : (int, int) Hashtbl.t = Hashtbl.create 16 in
   List.iter
     (fun (global_idx, (ct : Core.Select.conc_test)) ->
@@ -47,14 +49,19 @@ let run_shard ~(cfg : Pipeline.config) ~(ident : Core.Identify.t)
         | Some _ -> kind
         | None -> Sched.Explore.Naive 8
       in
+      let writer = prog_of_id ct.Core.Select.writer
+      and reader = prog_of_id ct.Core.Select.reader in
       let res =
-        Sched.Explore.run env ~ident:(Some ident)
-          ~writer:(prog_of_id ct.Core.Select.writer)
-          ~reader:(prog_of_id ct.Core.Select.reader)
+        Sched.Explore.run env ~ident:(Some ident) ~writer ~reader
           ~hint:ct.Core.Select.hint ~kind ~trials:cfg.Pipeline.trials_per_test
           ~seed:(cfg.Pipeline.seed + (1000 * (global_idx + 1)))
           ~stop_on_bug:false ()
       in
+      (match
+         Pipeline.bug_of_result ~test_idx:(global_idx + 1) ~writer ~reader res
+       with
+      | Some b -> bugs := b :: !bugs
+      | None -> ());
       if res.Sched.Explore.any_exercised then incr hint_exercised;
       if res.Sched.Explore.any_pmc_observed then incr pmc_observed;
       trials := !trials + List.length res.Sched.Explore.trials;
@@ -79,6 +86,7 @@ let run_shard ~(cfg : Pipeline.config) ~(ident : Core.Identify.t)
     sr_unknown = !unknown;
     sr_trials = !trials;
     sr_steps = !steps;
+    sr_bugs = List.rev !bugs;
   }
 
 (* Split [l] round-robin into [n] shards, keeping global indices. *)
@@ -143,6 +151,12 @@ let run_method ?(kind = Sched.Explore.Snowboard) ?domains (t : Pipeline.t)
     unknown_findings = sum (fun r -> r.sr_unknown);
     total_trials = sum (fun r -> r.sr_trials);
     total_steps = sum (fun r -> r.sr_steps);
+    bugs =
+      (* merged in global test order, matching the sequential run *)
+      Array.to_list results
+      |> List.concat_map (fun r -> r.sr_bugs)
+      |> List.sort (fun (a : Pipeline.bug_report) b ->
+             compare a.Pipeline.br_test b.Pipeline.br_test);
   }
 
 let run_campaign ?domains t ~budget =

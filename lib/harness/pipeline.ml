@@ -129,6 +129,38 @@ let prog_of_id t id =
   | Some e -> e.Fuzzer.Corpus.prog
   | None -> invalid_arg (Printf.sprintf "pipeline: unknown corpus id %d" id)
 
+(* Everything needed to re-execute a buggy trial away from the campaign:
+   the two programs and the recorded switch decisions (section 6,
+   deterministic reproduction).  One report is kept per concurrent test -
+   the first buggy trial - which bounds report growth on noisy tests. *)
+type bug_report = {
+  br_issues : int list;  (* triaged issue ids ([] = untriaged findings) *)
+  br_test : int;  (* 1-based index of the test in its method's plan *)
+  br_trial : int;  (* 1-based index of the buggy trial within the test *)
+  br_writer : Fuzzer.Prog.t;
+  br_reader : Fuzzer.Prog.t;
+  br_replay : string;  (* [Sched.Replay.to_string] of the trial's trace *)
+}
+
+(* The first buggy trial of an exploration result, if any. *)
+let bug_of_result ~test_idx ~writer ~reader (res : Sched.Explore.result) =
+  let rec go i = function
+    | [] -> None
+    | (tr : Sched.Explore.trial) :: rest ->
+        if tr.Sched.Explore.findings <> [] then
+          Some
+            {
+              br_issues = tr.Sched.Explore.issues;
+              br_test = test_idx;
+              br_trial = i;
+              br_writer = writer;
+              br_reader = reader;
+              br_replay = Sched.Replay.to_string tr.Sched.Explore.replay;
+            }
+        else go (i + 1) rest
+  in
+  go 1 res.Sched.Explore.trials
+
 (* Execution statistics for one generation method. *)
 type method_stats = {
   method_ : Core.Select.method_;
@@ -142,6 +174,7 @@ type method_stats = {
   unknown_findings : int;
   total_trials : int;
   total_steps : int;
+  bugs : bug_report list;  (* one per test with findings, in test order *)
 }
 
 let run_method ?(kind = Sched.Explore.Snowboard) t method_ ~budget =
@@ -163,6 +196,7 @@ let run_method ?(kind = Sched.Explore.Snowboard) t method_ ~budget =
   and unknown = ref 0
   and total_trials = ref 0
   and total_steps = ref 0 in
+  let bugs = ref [] in
   let issues : (int, int) Hashtbl.t = Hashtbl.create 16 in
   Obs.Span.with_span "execute" @@ fun () ->
   List.iter
@@ -170,13 +204,16 @@ let run_method ?(kind = Sched.Explore.Snowboard) t method_ ~budget =
       incr executed;
       if ct.hint <> None then incr hinted;
       let kind = match ct.hint with Some _ -> kind | None -> Sched.Explore.Naive 8 in
+      let writer = prog_of_id t ct.writer and reader = prog_of_id t ct.reader in
       let res =
-        Sched.Explore.run t.env ~ident:(Some t.ident)
-          ~writer:(prog_of_id t ct.writer) ~reader:(prog_of_id t ct.reader)
+        Sched.Explore.run t.env ~ident:(Some t.ident) ~writer ~reader
           ~hint:ct.hint ~kind ~trials:t.cfg.trials_per_test
           ~seed:(t.cfg.seed + (1000 * !executed))
           ~stop_on_bug:false ()
       in
+      (match bug_of_result ~test_idx:!executed ~writer ~reader res with
+      | Some b -> bugs := b :: !bugs
+      | None -> ());
       if res.Sched.Explore.any_exercised then incr hint_exercised;
       if res.Sched.Explore.any_pmc_observed then incr pmc_observed;
       total_trials := !total_trials + List.length res.Sched.Explore.trials;
@@ -209,6 +246,7 @@ let run_method ?(kind = Sched.Explore.Snowboard) t method_ ~budget =
     unknown_findings = !unknown;
     total_trials = !total_trials;
     total_steps = !total_steps;
+    bugs = List.rev !bugs;
   }
 
 (* A full campaign: every generation method with the same budget; the

@@ -46,6 +46,26 @@ val prog_of_id : t -> int -> Fuzzer.Prog.t
 (** The corpus program with this id; raises [Invalid_argument] if
     unknown. *)
 
+type bug_report = {
+  br_issues : int list;  (** triaged issue ids ([] = untriaged findings) *)
+  br_test : int;  (** 1-based index of the test in its method's plan *)
+  br_trial : int;  (** 1-based index of the buggy trial within the test *)
+  br_writer : Fuzzer.Prog.t;
+  br_reader : Fuzzer.Prog.t;
+  br_replay : string;  (** [Sched.Replay.to_string] of the trial's trace *)
+}
+(** Everything needed to re-execute a buggy trial away from the campaign
+    (section 6, deterministic reproduction): the two programs plus the
+    recorded switch decisions.  [snowboard explain] consumes these. *)
+
+val bug_of_result :
+  test_idx:int ->
+  writer:Fuzzer.Prog.t ->
+  reader:Fuzzer.Prog.t ->
+  Sched.Explore.result ->
+  bug_report option
+(** The first buggy trial of an exploration result, if any. *)
+
 type method_stats = {
   method_ : Core.Select.method_;
   num_clusters : int;  (** Table 3's "Exemplar PMCs" column (0 = NA) *)
@@ -59,6 +79,8 @@ type method_stats = {
   unknown_findings : int;  (** untriaged findings (noise pool) *)
   total_trials : int;
   total_steps : int;
+  bugs : bug_report list;
+      (** one report per test with findings, in test order *)
 }
 
 val run_method :

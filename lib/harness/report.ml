@@ -80,6 +80,22 @@ let accuracy (stats : Pipeline.method_stats list) =
 
 module J = Obs.Export
 
+(* A bug report with everything [snowboard explain] needs: the two
+   programs in [Prog.to_line] form and the replay trace. *)
+let json_of_bug ?method_ (b : Pipeline.bug_report) =
+  J.Obj
+    ((match method_ with
+     | Some m -> [ ("method", J.String (Core.Select.method_name m)) ]
+     | None -> [])
+    @ [
+        ("issues", J.List (List.map (fun i -> J.Int i) b.Pipeline.br_issues));
+        ("test", J.Int b.Pipeline.br_test);
+        ("trial", J.Int b.Pipeline.br_trial);
+        ("writer", J.String (Fuzzer.Prog.to_line b.Pipeline.br_writer));
+        ("reader", J.String (Fuzzer.Prog.to_line b.Pipeline.br_reader));
+        ("replay", J.String b.Pipeline.br_replay);
+      ])
+
 let json_of_method (s : Pipeline.method_stats) =
   J.Obj
     [
@@ -99,6 +115,7 @@ let json_of_method (s : Pipeline.method_stats) =
              (fun (id, at) ->
                J.Obj [ ("id", J.Int id); ("found_at_test", J.Int at) ])
              s.Pipeline.issues) );
+      ("bugs", J.List (List.map (json_of_bug ?method_:None) s.Pipeline.bugs));
     ]
 
 let json_of_issue id =
@@ -167,6 +184,16 @@ let json_summary ?pipeline ~(stats : Pipeline.method_stats list)
     (pipeline_fields
     @ [
         ("table3", J.List (List.map json_of_method stats));
+        (* flat list across methods so [snowboard explain] can pick a bug
+           from the report without knowing the method layout *)
+        ( "bugs",
+          J.List
+            (List.concat_map
+               (fun (s : Pipeline.method_stats) ->
+                 List.map
+                   (json_of_bug ~method_:s.Pipeline.method_)
+                   s.Pipeline.bugs)
+               stats) );
         ("accuracy", json_accuracy stats);
         ( "table2",
           J.Obj

@@ -14,6 +14,12 @@ val accuracy : Pipeline.method_stats list -> unit
 val pmc_summary : Pipeline.t -> unit
 (** Corpus/profile/identification statistics of a prepared pipeline. *)
 
+val json_of_bug :
+  ?method_:Core.Select.method_ -> Pipeline.bug_report -> Obs.Export.json
+(** One bug report as JSON: triaged issues, test/trial indices, the two
+    programs in [Fuzzer.Prog.to_line] form, and the replay trace —
+    everything [snowboard explain] needs to re-execute the trial. *)
+
 val json_summary :
   ?pipeline:Pipeline.t ->
   stats:Pipeline.method_stats list ->

@@ -139,8 +139,17 @@ let of_string s =
           | Some 't' -> Buffer.add_char b '\t'; advance (); go ()
           | Some 'u' ->
               advance ();
-              if !pos + 4 > n then fail "bad \\u escape";
-              let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+              if !pos + 4 > n then fail "truncated \\u escape";
+              let hex = String.sub s !pos 4 in
+              let is_hex = function
+                | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true
+                | _ -> false
+              in
+              (* explicit digit check: int_of_string would accept
+                 underscores and raise Failure on garbage, and a
+                 malformed escape must surface as a Parse_error *)
+              if not (String.for_all is_hex hex) then fail "bad \\u escape";
+              let code = int_of_string ("0x" ^ hex) in
               pos := !pos + 4;
               (* ASCII-only escapes are produced by [to_string] *)
               if code < 0x80 then Buffer.add_char b (Char.chr code)
@@ -231,6 +240,9 @@ let of_string s =
   skip_ws ();
   if !pos <> n then fail "trailing input";
   v
+
+let of_string_opt s =
+  match of_string s with v -> Some v | exception Parse_error _ -> None
 
 (* ------------------------------------------------------------------ *)
 (* Registry rendering.                                                 *)

@@ -18,8 +18,12 @@ val to_string : json -> string
 exception Parse_error of string
 
 val of_string : string -> json
-(** Parse a JSON document (raises {!Parse_error}); inverse of
-    [to_string] up to whitespace. *)
+(** Parse a JSON document; inverse of [to_string] up to whitespace.
+    Any malformed input — trailing garbage, unterminated strings or
+    containers, bad escapes — raises {!Parse_error} and nothing else. *)
+
+val of_string_opt : string -> json option
+(** [of_string] with the {!Parse_error} mapped to [None]. *)
 
 val metrics_json : ?deterministic:bool -> unit -> json
 (** The registry as a JSON list, sorted by metric name.  In deterministic

@@ -71,6 +71,7 @@ let run (env : Exec.env) ~(writer : Fuzzer.Prog.t) ~(reader : Fuzzer.Prog.t)
        let race = Detectors.Race.create () in
        let observer =
          {
+           Exec.default_observer with
            Exec.on_access =
              (fun a ~ctx -> Detectors.Race.on_access race a ~ctx);
          }

@@ -111,9 +111,20 @@ let helper_functions =
     "ext4_compute_csum"; "syscall_entry";
   ]
 
-type observer = { on_access : Trace.access -> ctx:string -> unit }
+type observer = {
+  on_access : Trace.access -> ctx:string -> unit;
+  on_event : Obs.Event.kind -> tid:int -> unit;
+      (* flight-recorder feed; only called while [Obs.Event.enabled ()] *)
+}
 
-let null_observer = { on_access = (fun _ ~ctx:_ -> ()) }
+let null_observer =
+  { on_access = (fun _ ~ctx:_ -> ()); on_event = (fun _ ~tid:_ -> ()) }
+
+(* The default observer routes executor events into the global flight
+   recorder; detectors usually extend it with [{ default_observer with
+   on_access = ... }] so recording keeps working under them. *)
+let default_observer =
+  { null_observer with on_event = (fun k ~tid -> Obs.Event.emit ~tid k) }
 
 (* Shadow call stacks and access attribution. *)
 type frames = { mutable stack : int list }
@@ -258,10 +269,15 @@ let pause_limit = 4_096
    runs at a time; on a switch request the executor rotates round-robin
    to the next runnable thread. *)
 let run_multi env ~(progs : Fuzzer.Prog.t array) ~(policy : policy)
-    ?(observer = null_observer) () =
+    ?(observer = default_observer) () =
   let n = Array.length progs in
   if n < 1 || n > Vmm.Layout.max_threads then
     invalid_arg "exec: unsupported thread count";
+  (* virtual clock for the flight recorder: guest instructions retired,
+     monotonic across runs and a pure function of the seed *)
+  Obs.Event.set_clock (Some (fun () -> Vm.steps env.vm));
+  let ev_on () = Obs.Event.enabled () in
+  let emit tid kind = observer.on_event kind ~tid in
   Vm.restore env.vm env.snap;
   Array.iteri (fun tid prog -> install_buffers env.vm tid prog) progs;
   let mk prog =
@@ -309,6 +325,9 @@ let run_multi env ~(progs : Fuzzer.Prog.t array) ~(policy : policy)
     | _ -> ()
   in
   let current = ref (if policy.first >= 0 && policy.first < n then policy.first else 0) in
+  if ev_on () then
+    emit Obs.Event.sched_tid
+      (Obs.Event.Trial_begin { threads = n; first = !current });
   (try
      while true do
        if !steps > conc_budget then begin
@@ -318,7 +337,11 @@ let run_multi env ~(progs : Fuzzer.Prog.t array) ~(policy : policy)
        (* pick a runnable thread, preferring the current one *)
        if not (runnable !current) then begin
          match next_runnable !current with
-         | Some t -> current := t
+         | Some t ->
+             if ev_on () then
+               emit Obs.Event.sched_tid
+                 (Obs.Event.Switch { from_ = !current; to_ = t; reason = "blocked" });
+             current := t
          | None -> raise Exit
        end;
        let tid = !current in
@@ -328,10 +351,16 @@ let run_multi env ~(progs : Fuzzer.Prog.t array) ~(policy : policy)
            (* start the next system call; this consumes no guest step *)
            let i = th.next_call in
            start_syscall env tid th.retvals i th.prog.(i);
+           if ev_on () then
+             emit tid
+               (Obs.Event.Syscall_enter { index = i; nr = th.prog.(i).Fuzzer.Prog.nr });
            th.frames.stack <- []
        | Vm.Dead when not th.started ->
            th.started <- true;
            start_syscall env tid th.retvals 0 th.prog.(0);
+           if ev_on () then
+             emit tid
+               (Obs.Event.Syscall_enter { index = 0; nr = th.prog.(0).Fuzzer.Prog.nr });
            th.frames.stack <- []
        | Vm.Kernel | Vm.Dead -> ());
        if Vm.cpu_mode env.vm tid = Vm.Kernel then begin
@@ -345,10 +374,26 @@ let run_multi env ~(progs : Fuzzer.Prog.t array) ~(policy : policy)
              | Vm.Eaccess a ->
                  if Trace.is_shared a then begin
                    accesses.(tid) := a :: !(accesses.(tid));
-                   observer.on_access a ~ctx:(attribute image th.frames a.Trace.pc)
+                   let ctx = attribute image th.frames a.Trace.pc in
+                   observer.on_access a ~ctx;
+                   if ev_on () then
+                     emit tid
+                       (Obs.Event.Access
+                          {
+                            pc = a.Trace.pc;
+                            addr = a.Trace.addr;
+                            size = a.Trace.size;
+                            write = (a.Trace.kind = Trace.Write);
+                            value = a.Trace.value;
+                            ctx;
+                          })
                  end
              | Vm.Eret_to_user ->
                  th.retvals.(th.next_call) <- Vm.reg env.vm tid Isa.r0;
+                 if ev_on () then
+                   emit tid
+                     (Obs.Event.Syscall_exit
+                        { index = th.next_call; ret = th.retvals.(th.next_call) });
                  th.next_call <- th.next_call + 1
              | Vm.Epause -> paused := true
              | _ -> ())
@@ -356,13 +401,19 @@ let run_multi env ~(progs : Fuzzer.Prog.t array) ~(policy : policy)
          finish_check tid;
          if Vm.panicked env.vm then raise Exit;
          let want = policy.decide tid evs in
-         if want then incr sched_points;
+         if want then begin
+           incr sched_points;
+           if ev_on () then emit tid (Obs.Event.Sched_point { tid })
+         end;
          if !paused then begin
            (* the is_live heuristic: a spinning thread must yield *)
            match next_runnable tid with
            | Some t ->
                pause_streak := 0;
                incr switches;
+               if ev_on () then
+                 emit Obs.Event.sched_tid
+                   (Obs.Event.Switch { from_ = tid; to_ = t; reason = "pause" });
                current := t
            | None ->
                incr pause_streak;
@@ -377,12 +428,24 @@ let run_multi env ~(progs : Fuzzer.Prog.t array) ~(policy : policy)
              match next_runnable tid with
              | Some t ->
                  incr switches;
+                 if ev_on () then
+                   emit Obs.Event.sched_tid
+                     (Obs.Event.Switch { from_ = tid; to_ = t; reason = "policy" });
                  current := t
              | None -> ()
          end
        end
      done
    with Exit -> ());
+  if ev_on () then
+    emit Obs.Event.sched_tid
+      (Obs.Event.Trial_end
+         {
+           verdict =
+             (if Vm.panicked env.vm then "panic"
+              else if !deadlocked then "deadlock"
+              else "ok");
+         });
   Obs.Metrics.incr m_conc_runs;
   Obs.Metrics.add m_preemptions !switches;
   Obs.Metrics.add m_schedule_points !sched_points;
@@ -403,5 +466,5 @@ let run_multi env ~(progs : Fuzzer.Prog.t array) ~(policy : policy)
   }
 
 let run_conc env ~(writer : Fuzzer.Prog.t) ~(reader : Fuzzer.Prog.t)
-    ~(policy : policy) ?(observer = null_observer) () =
+    ~(policy : policy) ?(observer = default_observer) () =
   run_multi env ~progs:[| writer; reader |] ~policy ~observer ()

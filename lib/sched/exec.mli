@@ -25,10 +25,23 @@ val helper_functions : string list
 (** Runtime helpers (memcpy, locks, allocator internals, ...) skipped by
     access attribution. *)
 
-type observer = { on_access : Vmm.Trace.access -> ctx:string -> unit }
-(** Called for every shared kernel access with its attributed function. *)
+type observer = {
+  on_access : Vmm.Trace.access -> ctx:string -> unit;
+      (** called for every shared kernel access with its attributed
+          function *)
+  on_event : Obs.Event.kind -> tid:int -> unit;
+      (** flight-recorder feed; only called while [Obs.Event.enabled ()]
+          is true, so a custom sink never pays when recording is off *)
+}
 
 val null_observer : observer
+(** Ignores everything. *)
+
+val default_observer : observer
+(** Routes executor events into the global flight recorder
+    ({!Obs.Event.emit}).  Extend it with functional update —
+    [{ default_observer with on_access = ... }] — to keep recording
+    working under a detector. *)
 
 type seq_result = {
   sq_accesses : Vmm.Trace.access list;  (** all traced accesses in order *)

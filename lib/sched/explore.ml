@@ -34,6 +34,7 @@ type trial = {
   issues : int list;
   exercised : bool;  (* the hinted PMC channel actually occurred *)
   steps : int;
+  replay : Replay.trace;  (* recorded switch decisions for reproduction *)
 }
 
 type result = {
@@ -93,14 +94,24 @@ let run (env : Exec.env) ~(ident : Core.Identify.t option)
          | Naive period -> Policies.naive rng ~period
          | Pct depth -> Policies.pct rng ~depth ~est_len:pct_est_len
        in
+       (* every trial records its switch decisions: recording is a byte
+          per decision, and it makes any buggy trial reproducible from
+          the report alone (section 6) *)
+       let recorder = Replay.record policy in
        let race = Detectors.Race.create () in
        let observer =
          {
+           Exec.default_observer with
            Exec.on_access =
-             (fun a ~ctx -> Detectors.Race.on_access race a ~ctx);
+             (fun a ~ctx ->
+               Detectors.Race.on_access race a ~ctx;
+               Exec.default_observer.Exec.on_access a ~ctx);
          }
        in
-       let res = Exec.run_conc env ~writer ~reader ~policy ~observer () in
+       let res =
+         Exec.run_conc env ~writer ~reader ~policy:recorder.Replay.policy
+           ~observer ()
+       in
        let findings =
          Detectors.Oracle.analyze ~console:res.Exec.cc_console
            ~races:(Detectors.Race.reports race)
@@ -111,12 +122,22 @@ let run (env : Exec.env) ~(ident : Core.Identify.t option)
        Obs.Metrics.incr m_trials;
        if hint <> None then
          if exercised then Obs.Metrics.incr m_hint_hits
-         else Obs.Metrics.incr m_hint_misses;
+         else begin
+           Obs.Metrics.incr m_hint_misses;
+           if Obs.Event.enabled () then
+             Obs.Event.emit ~tid:Obs.Event.sched_tid Obs.Event.Hint_miss
+         end;
        if exercised then any_exercised := true;
        total_steps := !total_steps + res.Exec.cc_steps;
        total_switches := !total_switches + res.Exec.cc_switches;
        trial_results :=
-         { findings; issues; exercised; steps = res.Exec.cc_steps }
+         {
+           findings;
+           issues;
+           exercised;
+           steps = res.Exec.cc_steps;
+           replay = recorder.Replay.finish ();
+         }
          :: !trial_results;
        let hit =
          match target_issue with

@@ -17,6 +17,9 @@ type trial = {
   issues : int list;
   exercised : bool;  (** the hinted PMC channel actually occurred *)
   steps : int;
+  replay : Replay.trace;
+      (** the trial's recorded switch decisions, enough to re-execute it
+          exactly ({!Replay.replay}) *)
 }
 
 type result = {

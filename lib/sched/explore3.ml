@@ -41,7 +41,10 @@ let run (env : Exec.env) ~(progs : Fuzzer.Prog.t array)
        in
        let race = Detectors.Race.create ~nthreads:(Array.length progs) () in
        let observer =
-         { Exec.on_access = (fun a ~ctx -> Detectors.Race.on_access race a ~ctx) }
+         {
+           Exec.default_observer with
+           Exec.on_access = (fun a ~ctx -> Detectors.Race.on_access race a ~ctx);
+         }
        in
        let res = Exec.run_multi env ~progs ~policy ~observer () in
        let findings =

@@ -54,11 +54,24 @@ let snowboard rng (st : snowboard_state) : Exec.policy =
               (match st.last_access.(tid) with
               | Some s -> Hashtbl.replace st.flags s ()
               | None -> ());
+              if Obs.Event.enabled () then
+                Obs.Event.emit ~tid
+                  (Obs.Event.Hint_hit
+                     {
+                       write = a.Trace.kind = Trace.Write;
+                       pc = a.Trace.pc;
+                       addr = a.Trace.addr;
+                     });
               if Random.State.bool rng then switch := true
             end
-            else if Hashtbl.mem st.flags siga then
+            else if Hashtbl.mem st.flags siga then begin
               (* pmc_access_coming: the PMC access is imminent *)
-              if Random.State.bool rng then switch := true;
+              if Obs.Event.enabled () then
+                Obs.Event.emit ~tid
+                  (Obs.Event.Hint_window
+                     { pc = a.Trace.pc; addr = a.Trace.addr });
+              if Random.State.bool rng then switch := true
+            end;
             st.last_access.(tid) <- Some siga
         | _ -> ())
       evs;

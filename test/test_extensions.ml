@@ -94,7 +94,10 @@ let test_postmortem () =
     if !tty_races = [] then begin
       let race = Detectors.Race.create () in
       let observer =
-        { Exec.on_access = (fun a ~ctx -> Detectors.Race.on_access race a ~ctx) }
+        {
+          Exec.default_observer with
+          Exec.on_access = (fun a ~ctx -> Detectors.Race.on_access race a ~ctx);
+        }
       in
       let rng = Random.State.make [| seed |] in
       let _ =

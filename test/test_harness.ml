@@ -98,6 +98,7 @@ let test_issues_union () =
       unknown_findings = 0;
       total_trials = 0;
       total_steps = 0;
+      bugs = [];
     }
   in
   checkb "union sorted and deduped" true

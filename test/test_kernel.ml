@@ -327,6 +327,7 @@ let test_pipe_no_false_races () =
     let race = Detectors.Race.create () in
     let observer =
       {
+        Sched.Exec.default_observer with
         Sched.Exec.on_access =
           (fun a ~ctx -> Detectors.Race.on_access race a ~ctx);
       }

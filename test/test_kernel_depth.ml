@@ -22,7 +22,10 @@ let env = lazy (Exec.make_env Kernel.Config.all_buggy)
 let trial ?(period = 2) e ~writer ~reader ~seed =
   let race = Detectors.Race.create () in
   let observer =
-    { Exec.on_access = (fun a ~ctx -> Detectors.Race.on_access race a ~ctx) }
+    {
+      Exec.default_observer with
+      Exec.on_access = (fun a ~ctx -> Detectors.Race.on_access race a ~ctx);
+    }
   in
   let rng = Random.State.make [| seed |] in
   let res =

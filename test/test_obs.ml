@@ -168,6 +168,61 @@ let test_registry_json () =
       Alcotest.(check bool) "has spans" true (List.mem_assoc "spans" fields)
   | _ -> Alcotest.fail "registry_json is not an object"
 
+(* Malformed documents must raise Parse_error (never Failure or an
+   index error), and of_string_opt must map exactly that to None. *)
+let test_parser_rejects () =
+  let bad =
+    [
+      ("trailing garbage", "{}\ntrailing");
+      ("trailing value", "1 2");
+      ("unterminated string", "\"abc");
+      ("unterminated string with escape", "\"abc\\");
+      ("unterminated object", "{\"a\": 1");
+      ("unterminated list", "[1, 2");
+      ("bare comma", "[1,,2]");
+      ("bad escape", "\"\\x41\"");
+      ("bad unicode escape", "\"\\uZZZZ\"");
+      ("underscored unicode escape", "\"\\u00_1\"");
+      ("truncated unicode escape", "\"\\u00");
+      ("bad number", "-");
+      ("empty input", "");
+      ("just whitespace", "   \n\t ");
+      ("unquoted key", "{a: 1}");
+      ("missing colon", "{\"a\" 1}");
+    ]
+  in
+  List.iter
+    (fun (label, s) ->
+      (match Obs.Export.of_string s with
+      | exception Obs.Export.Parse_error _ -> ()
+      | exception e ->
+          Alcotest.failf "%s: raised %s, not Parse_error" label
+            (Printexc.to_string e)
+      | v ->
+          Alcotest.failf "%s: accepted as %s" label (Obs.Export.to_string v));
+      Alcotest.(check bool)
+        (label ^ " maps to None") true
+        (Obs.Export.of_string_opt s = None))
+    bad
+
+let test_parser_accepts () =
+  let ok =
+    [
+      ("surrounding whitespace", " \n {} \n ", Obs.Export.Obj []);
+      ("escaped quote", {|"a\"b"|}, Obs.Export.String "a\"b");
+      ("low unicode escape", "\"\\u0007\"", Obs.Export.String "\007");
+      ("negative int", "-42", Obs.Export.Int (-42));
+      ("float", "2.5", Obs.Export.Float 2.5);
+    ]
+  in
+  List.iter
+    (fun (label, s, expected) ->
+      Alcotest.(check bool) label true (Obs.Export.of_string s = expected);
+      Alcotest.(check bool)
+        (label ^ " via of_string_opt") true
+        (Obs.Export.of_string_opt s = Some expected))
+    ok
+
 let test_deterministic_mode () =
   reset ();
   let h = Obs.Metrics.histogram ~unit_:"us" "test/wall" in
@@ -276,6 +331,10 @@ let () =
         [
           Alcotest.test_case "json round trip" `Quick test_json_round_trip;
           Alcotest.test_case "registry json" `Quick test_registry_json;
+          Alcotest.test_case "parser rejects malformed input" `Quick
+            test_parser_rejects;
+          Alcotest.test_case "parser accepts edge cases" `Quick
+            test_parser_accepts;
           Alcotest.test_case "deterministic mode" `Quick test_deterministic_mode;
         ] );
       ( "integration",

@@ -252,6 +252,85 @@ let test_channel_exercised () =
           ~w:[ mk ~t:0 ~pc:10 ~kind:Trace.Write ~value:5 ]
           ~r:[ mk ~t:1 ~pc:20 ~kind:Trace.Read ~value:5 ]))
 
+(* ---------------- replay trace serialisation ---------------- *)
+
+module Replay = Sched.Replay
+
+let gen_trace =
+  QCheck.Gen.(
+    map2
+      (fun first decisions ->
+        { Replay.t_first = first; t_decisions = Array.of_list decisions })
+      (int_range 0 7)
+      (list_size (int_range 0 300) bool))
+
+let prop_replay_roundtrip =
+  QCheck.Test.make ~name:"replay trace round-trips" ~count:300
+    (QCheck.make gen_trace) (fun t ->
+      match Replay.of_string (Replay.to_string t) with
+      | None -> false
+      | Some t' ->
+          t'.Replay.t_first = t.Replay.t_first
+          && t'.Replay.t_decisions = t.Replay.t_decisions)
+
+(* Truncating a serialised trace must never raise: prefixes that still
+   contain the ':' separator decode as a shorter valid trace, prefixes
+   that lost it decode as [None]. *)
+let prop_replay_truncated =
+  QCheck.Test.make ~name:"replay of_string total on truncation" ~count:100
+    (QCheck.make gen_trace) (fun t ->
+      let s = Replay.to_string t in
+      let ok = ref true in
+      for n = 0 to String.length s - 1 do
+        let prefix = String.sub s 0 n in
+        (match Replay.of_string prefix with
+        | None -> if String.contains prefix ':' then ok := false
+        | Some t' ->
+            if
+              (not (String.contains prefix ':'))
+              || t'.Replay.t_first <> t.Replay.t_first
+              || Replay.length t' > Replay.length t
+            then ok := false)
+      done;
+      !ok)
+
+let prop_replay_corrupted =
+  QCheck.Test.make ~name:"replay of_string rejects corrupted body" ~count:200
+    (QCheck.make QCheck.Gen.(pair gen_trace (int_range 0 10_000)))
+    (fun (t, pos) ->
+      let s = Replay.to_string t in
+      if Replay.length t = 0 then true
+      else begin
+        let i = String.index s ':' + 1 + (pos mod Replay.length t) in
+        let b = Bytes.of_string s in
+        Bytes.set b i 'x';
+        Replay.of_string (Bytes.to_string b) = None
+      end)
+
+let prop_replay_garbage =
+  QCheck.Test.make ~name:"replay of_string never raises on garbage"
+    ~count:500
+    QCheck.(string_of_size Gen.(int_range 0 64))
+    (fun s -> match Replay.of_string s with Some _ | None -> true)
+
+let test_replay_of_string_cases () =
+  let none s = checkb ("rejects " ^ s) true (Replay.of_string s = None) in
+  none "";
+  none "abc";
+  none "5";
+  none "5:012";
+  none "5:01 ";
+  none "x:01";
+  none ":::";
+  (match Replay.of_string "5:01" with
+  | Some t ->
+      checkb "first" true (t.Replay.t_first = 5);
+      checkb "decisions" true (t.Replay.t_decisions = [| false; true |])
+  | None -> Alcotest.fail "5:01 must parse");
+  match Replay.of_string ":" with
+  | Some _ -> Alcotest.fail "empty first field must not parse"
+  | None -> ()
+
 (* ---------------- parallel execution equivalence ---------------- *)
 
 let test_parallel_equals_sequential () =
@@ -292,6 +371,12 @@ let tests =
     QCheck_alcotest.to_alcotest prop_detector_silent_single_thread;
     QCheck_alcotest.to_alcotest prop_detector_deterministic;
     Alcotest.test_case "channel_exercised" `Quick test_channel_exercised;
+    QCheck_alcotest.to_alcotest prop_replay_roundtrip;
+    QCheck_alcotest.to_alcotest prop_replay_truncated;
+    QCheck_alcotest.to_alcotest prop_replay_corrupted;
+    QCheck_alcotest.to_alcotest prop_replay_garbage;
+    Alcotest.test_case "replay of_string edge cases" `Quick
+      test_replay_of_string_cases;
   ]
 
 let () = Alcotest.run "properties" [ ("deep", tests) ]

@@ -69,7 +69,10 @@ let test_observer_sees_shared_only () =
   let e = Lazy.force env in
   let seen = ref [] in
   let observer =
-    { Exec.on_access = (fun a ~ctx -> seen := (a, ctx) :: !seen) }
+    {
+      Exec.default_observer with
+      Exec.on_access = (fun a ~ctx -> seen := (a, ctx) :: !seen);
+    }
   in
   let res =
     Exec.run_conc e ~writer:sock_prog ~reader:sock_prog ~policy:never_switch
