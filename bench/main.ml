@@ -16,6 +16,7 @@
      ablations   - design-choice ablations from DESIGN.md
      artifact    - deterministic machine-readable run artifact (BENCH_pipeline.json)
      tracing     - flight-recorder overhead + Chrome trace artifact (BENCH_trace.json)
+     resilience  - supervision overhead + fault-injected campaign (BENCH_resilience.json)
 
    Scaled-down parameters (a few hundred sequential tests rather than
    129,876; minutes rather than machine-weeks) are printed with each
@@ -674,6 +675,121 @@ let tracing () =
   Obs.Event.configure ~enabled:false ()
 
 (* ------------------------------------------------------------------ *)
+(* E12: supervision overhead and fault-injected campaign               *)
+
+(* The supervised runner must cost nothing when nothing fails: time the
+   same method budget through [Pipeline.run_method] (supervision on) and
+   through a raw [Explore.run] loop over the identical plan and seeds,
+   then demonstrate the failure taxonomy with a seeded fault plan and
+   export the (deterministic) outcome statistics as
+   BENCH_resilience.json. *)
+let resilience () =
+  section "E12: supervision overhead + fault-injected campaign (BENCH_resilience.json)";
+  let cfg =
+    {
+      (campaign_cfg Kernel.Config.v5_12_rc3) with
+      Harness.Pipeline.fuzz_iters = 300;
+      trials_per_test = 8;
+      seed = 7;
+    }
+  in
+  let t = Harness.Pipeline.prepare cfg in
+  let method_ = Core.Select.Strategy Core.Cluster.S_INS in
+  let budget = 60 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  (* raw baseline: the exact plan and per-test seeds run_method uses,
+     without the supervisor wrapper *)
+  let raw () =
+    let plan = Harness.Pipeline.plan_method t method_ ~budget in
+    List.iteri
+      (fun i (ct : Core.Select.conc_test) ->
+        let kind =
+          if ct.Core.Select.hint <> None then Sched.Explore.Snowboard
+          else Sched.Explore.Naive 4
+        in
+        ignore
+          (Sched.Explore.run t.Harness.Pipeline.env
+             ~ident:(Some t.Harness.Pipeline.ident)
+             ~writer:(Harness.Pipeline.prog_of_id t ct.Core.Select.writer)
+             ~reader:(Harness.Pipeline.prog_of_id t ct.Core.Select.reader)
+             ~hint:ct.Core.Select.hint ~kind ~trials:cfg.Harness.Pipeline.trials_per_test
+             ~seed:(cfg.Harness.Pipeline.seed + (1000 * (i + 1)))
+             ~stop_on_bug:false ()))
+      plan.Core.Select.tests
+  in
+  (* warm the snapshot caches before timing either side *)
+  let warm = Harness.Pipeline.run_method t method_ ~budget:5 in
+  ignore warm;
+  let (), dt_raw = time raw in
+  let healthy, dt_sup = time (fun () -> Harness.Pipeline.run_method t method_ ~budget) in
+  pf "%d tests x %d trials: raw %.3fs, supervised %.3fs (%.1f%% overhead)@."
+    healthy.Harness.Pipeline.executed cfg.Harness.Pipeline.trials_per_test dt_raw
+    dt_sup
+    (100. *. (dt_sup -. dt_raw) /. max 1e-9 dt_raw);
+  let oc = healthy.Harness.Pipeline.outcomes in
+  pf "healthy campaign outcomes: %d ok / %d timeout / %d crashed / %d quarantined@."
+    oc.Harness.Pipeline.oc_ok oc.Harness.Pipeline.oc_timed_out
+    oc.Harness.Pipeline.oc_crashed oc.Harness.Pipeline.oc_quarantined;
+  (* fault-injected run: the same campaign under a seeded fault plan *)
+  let spec =
+    match Sched.Fault.of_string "timeout:0.1,crash:0.08,truncate:0.05" with
+    | Ok s -> s
+    | Error msg -> failwith msg
+  in
+  let faults = Sched.Fault.plan ~seed:cfg.Harness.Pipeline.seed spec in
+  let faulty = Harness.Pipeline.run_method ~faults t method_ ~budget in
+  let again = Harness.Pipeline.run_method ~faults t method_ ~budget in
+  let summary s =
+    Obs.Export.to_string
+      (Harness.Report.json_summary ~stats:[ s ]
+         ~found:[ ("campaign", Harness.Pipeline.issues_union [ s ]) ]
+         ())
+  in
+  let deterministic = summary faulty = summary again in
+  let fc = faulty.Harness.Pipeline.outcomes in
+  pf "fault-injected (%s): %d ok / %d timeout / %d crashed / %d quarantined, %d retries@."
+    (Sched.Fault.to_string spec) fc.Harness.Pipeline.oc_ok
+    fc.Harness.Pipeline.oc_timed_out fc.Harness.Pipeline.oc_crashed
+    fc.Harness.Pipeline.oc_quarantined fc.Harness.Pipeline.oc_retries;
+  Harness.Report.resilience [ faulty ];
+  pf "identical fault plan twice -> byte-identical summary: %b@." deterministic;
+  (* artifact: deterministic fields only (no wall-clock), so the file is
+     a pure function of the seed and diffs cleanly across commits *)
+  let json =
+    Obs.Export.Obj
+      [
+        ("experiment", Obs.Export.String "resilience");
+        ("seed", Obs.Export.Int cfg.Harness.Pipeline.seed);
+        ("budget", Obs.Export.Int budget);
+        ("fault_spec", Obs.Export.String (Sched.Fault.to_string spec));
+        ("deterministic", Obs.Export.Bool deterministic);
+        ("healthy_outcomes", Harness.Report.json_of_outcomes oc);
+        ("faulty_outcomes", Harness.Report.json_of_outcomes fc);
+        ("faulty_degraded", Obs.Export.Bool (Harness.Pipeline.degraded [ faulty ]));
+        ( "faulty_issues",
+          Obs.Export.List
+            (List.map
+               (fun i -> Obs.Export.Int i)
+               (Harness.Pipeline.issues_union [ faulty ])) );
+      ]
+  in
+  let path = "BENCH_resilience.json" in
+  Obs.Export.write_file path json;
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let body = really_input_string ic n in
+  close_in ic;
+  match Obs.Export.of_string_opt body with
+  | Some (Obs.Export.Obj fields) ->
+      pf "wrote %s (%d bytes, %d fields, parses back OK)@." path n
+        (List.length fields)
+  | _ -> pf "wrote %s but it does not parse back as a JSON object@." path
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -689,6 +805,7 @@ let experiments =
     ("ablations", ablations);
     ("artifact", artifact);
     ("tracing", tracing);
+    ("resilience", resilience);
   ]
 
 let () =

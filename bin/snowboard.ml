@@ -8,6 +8,13 @@ open Cmdliner
 
 let pf = Format.printf
 
+let fail_cli fmt =
+  Format.kasprintf
+    (fun msg ->
+      Format.eprintf "snowboard: %s@." msg;
+      exit 1)
+    fmt
+
 let setup_logs ?(debug = false) ?(info = false) () =
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level
@@ -233,9 +240,98 @@ let corpus_in =
     & info [ "corpus" ] ~docv:"FILE"
         ~doc:"Seed the fuzzer with a corpus file written by 'fuzz --out'.")
 
+(* ----- resilience options (see README "Resilience") ----- *)
+
+let fault_conv =
+  let parse s =
+    match Sched.Fault.of_string s with
+    | Ok spec -> Ok spec
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf (Sched.Fault.to_string s))
+
+let inject_faults_arg =
+  Arg.(
+    value
+    & opt (some fault_conv) None
+    & info [ "inject-faults" ] ~docv:"SPEC"
+        ~doc:
+          "Deterministically inject harness faults, e.g. \
+           \"timeout:0.05,crash:0.02,truncate:0.01\" (probabilities per \
+           trial).  The schedule is a pure function of the seed, so runs \
+           reproduce exactly.")
+
+let watchdog_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "watchdog" ] ~docv:"N"
+        ~doc:
+          "Per-trial watchdog: abort any trial past $(docv) guest steps and \
+           record the test as timed out.")
+
+let max_retries_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "max-retries" ] ~docv:"N"
+        ~doc:
+          "Retries for transient harness failures before a test is \
+           quarantined.")
+
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:
+          "Journal every completed test to $(docv) (crash-safe \
+           write-and-rename), enabling --resume.")
+
+let resume_arg =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Skip tests already journaled in the --checkpoint file; the merged \
+           statistics are byte-identical to an uninterrupted run.")
+
+let stop_after_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "stop-after" ] ~docv:"N"
+        ~doc:
+          "Stop the campaign after $(docv) freshly executed tests (exit 10), \
+           simulating an interruption; requires --domains 1.")
+
+let summary_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "summary-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the campaign's JSON summary (tables 2/3, accuracy, bugs, \
+           supervision outcomes) to $(docv); deterministic for a given \
+           configuration.")
+
+exception Interrupted
+
 let run_campaign kernel seed iters trials budget methods seeded domains log
-    verbose corpus_file (_ : obs) =
+    verbose corpus_file fault_spec watchdog max_retries checkpoint resume
+    stop_after summary_out (_ : obs) =
   setup_logs ~debug:verbose ~info:log ();
+  if resume && checkpoint = None then
+    fail_cli "--resume requires --checkpoint FILE";
+  if stop_after <> None && domains > 1 then
+    fail_cli "--stop-after requires --domains 1 (deterministic interruption)";
+  let faults = Option.map (fun spec -> Sched.Fault.plan ~seed spec) fault_spec in
+  let sup =
+    {
+      Harness.Supervise.default with
+      Harness.Supervise.step_budget = watchdog;
+      max_retries;
+    }
+  in
   let seeds =
     (if seeded then Harness.Pipeline.scenario_seeds () else [])
     @ (match corpus_file with
@@ -256,27 +352,112 @@ let run_campaign kernel seed iters trials budget methods seeded domains log
   let methods =
     match methods with [] -> Core.Select.all_paper_methods | l -> l
   in
-  let run m =
-    if domains > 1 then Harness.Parallel.run_method ~domains t m ~budget
-    else Harness.Pipeline.run_method t m ~budget
+  (* the checkpoint fingerprint covers everything that shapes the plan,
+     the per-test seeds and the fault schedule, so a resume with any
+     incompatible knob is refused instead of silently mixing results *)
+  let fingerprint =
+    Harness.Checkpoint.fingerprint ~cfg ~budget
+      ~methods:(List.map Core.Select.method_name methods)
+      ~extra:
+        (Printf.sprintf "faults=%s watchdog=%s retries=%d"
+           (match fault_spec with
+           | None -> "none"
+           | Some s -> Sched.Fault.to_string s)
+           (match watchdog with
+           | None -> "none"
+           | Some w -> string_of_int w)
+           max_retries)
+      ()
   in
-  let stats = List.map run methods in
-  Harness.Report.table3 stats;
-  Harness.Report.accuracy stats;
-  let union = Harness.Pipeline.issues_union stats in
-  let found = [ ("campaign", union) ] in
-  Harness.Report.table2 ~found;
-  obs_extra :=
-    [ ("summary", Harness.Report.json_summary ~pipeline:t ~stats ~found ()) ]
+  let journaled =
+    match (resume, checkpoint) with
+    | true, Some path -> (
+        match Harness.Checkpoint.load path with
+        | Error msg -> fail_cli "cannot resume: %s" msg
+        | Ok f ->
+            if f.Harness.Checkpoint.ck_fingerprint <> fingerprint then
+              fail_cli
+                "cannot resume: %s was journaled by a different campaign \
+                 configuration"
+                path;
+            f.Harness.Checkpoint.ck_entries)
+    | _ -> []
+  in
+  let sink =
+    Option.map
+      (fun path ->
+        Harness.Checkpoint.create_sink ~path ~fingerprint ~initial:journaled)
+      checkpoint
+  in
+  let fresh = ref 0 in
+  let run m =
+    let name = Core.Select.method_name m in
+    let resume_fn idx =
+      Harness.Checkpoint.lookup journaled ~method_:name idx
+    in
+    let on_result r =
+      (match sink with
+      | Some s -> Harness.Checkpoint.record s ~method_:name r
+      | None -> ());
+      incr fresh;
+      match stop_after with
+      | Some n when !fresh >= n -> raise Interrupted
+      | _ -> ()
+    in
+    if domains > 1 then
+      Harness.Parallel.run_method ~domains ~sup ?faults ~resume:resume_fn
+        ~on_result t m ~budget
+    else
+      Harness.Pipeline.run_method ~sup ?faults ~resume:resume_fn ~on_result t
+        m ~budget
+  in
+  match List.map run methods with
+  | exception Interrupted ->
+      pf "campaign interrupted after %d freshly executed tests; journal saved@."
+        !fresh;
+      exit 10
+  | stats ->
+      Harness.Report.table3 stats;
+      Harness.Report.accuracy stats;
+      Harness.Report.resilience stats;
+      let union = Harness.Pipeline.issues_union stats in
+      let found = [ ("campaign", union) ] in
+      Harness.Report.table2 ~found;
+      let summary = Harness.Report.json_summary ~pipeline:t ~stats ~found () in
+      obs_extra := [ ("summary", summary) ];
+      (match summary_out with
+      | Some path ->
+          Obs.Export.write_file path summary;
+          pf "summary written to %s@." path
+      | None -> ());
+      (* exit-code taxonomy: 3 = the harness degraded (lost work), 2 =
+         clean run that found bugs, 0 = clean and silent.  Degradation
+         dominates: a degraded campaign's findings are a lower bound. *)
+      if Harness.Pipeline.degraded stats then exit 3
+      else if union <> [] || List.exists (fun s -> s.Harness.Pipeline.bugs <> []) stats
+      then exit 2
 
 let campaign_cmd =
   Cmd.v
     (Cmd.info "campaign"
-       ~doc:"Run the full pipeline: fuzz, profile, identify, select, execute.")
+       ~doc:"Run the full pipeline: fuzz, profile, identify, select, execute."
+       ~man:
+         [
+           `S Manpage.s_exit_status;
+           `P "0: completed cleanly, no concurrency issues found.";
+           `P "2: completed cleanly and found concurrency issues.";
+           `P
+             "3: completed but degraded — some tests timed out, crashed or \
+              were quarantined (see the supervision outcome table).";
+           `P "10: interrupted by --stop-after; the checkpoint journal holds \
+               the completed prefix.";
+         ])
     Term.(
       const run_campaign $ version $ seed $ fuzz_iters $ trials $ budget
       $ methods $ seed_corpus_flag $ domains_arg $ log_verbose $ verbose_log
-      $ corpus_in $ obs_term)
+      $ corpus_in $ inject_faults_arg $ watchdog_arg $ max_retries_arg
+      $ checkpoint_arg $ resume_arg $ stop_after_arg $ summary_out_arg
+      $ obs_term)
 
 (* ---------------- repro ---------------- *)
 
@@ -452,13 +633,6 @@ let diagnose_cmd =
    raw replay trace plus --issue for the scenario programs. *)
 
 module J = Obs.Export
-
-let fail_cli fmt =
-  Format.kasprintf
-    (fun msg ->
-      Format.eprintf "snowboard: %s@." msg;
-      exit 1)
-    fmt
 
 let read_file path =
   let ic = open_in_bin path in

@@ -1,0 +1,244 @@
+(* Campaign checkpoint/resume (see checkpoint.mli).
+
+   The journal is deliberately a rewrite-the-world file rather than an
+   append-only log: campaigns journal at most a few hundred entries, the
+   write-temp-then-rename makes every version crash-safe, and a single
+   self-contained JSON document is trivially inspectable next to the
+   other run artifacts. *)
+
+module J = Obs.Export
+module Prog = Fuzzer.Prog
+
+let schema = "snowboard/checkpoint/v1"
+
+type entry = { ck_method : string; ck_result : Pipeline.test_result }
+
+type file = { ck_fingerprint : string; ck_entries : entry list }
+
+(* Everything that shapes the plan and the per-test seeds.  The kernel
+   configuration is a record of feature booleans with no name of its
+   own, so a structural hash stands in. *)
+let fingerprint ~(cfg : Pipeline.config) ~budget ~methods ?(extra = "") () =
+  Printf.sprintf
+    "kernel=%d seed=%d fuzz_iters=%d trials=%d seed_corpus=%d budget=%d \
+     methods=%s extra=%s"
+    (Hashtbl.hash cfg.Pipeline.kernel)
+    cfg.Pipeline.seed cfg.Pipeline.fuzz_iters cfg.Pipeline.trials_per_test
+    (Hashtbl.hash
+       (List.map Prog.to_line cfg.Pipeline.seed_corpus))
+    budget
+    (String.concat "," methods)
+    extra
+
+(* ------------------------------------------------------------------ *)
+(* Serialization.                                                      *)
+
+let json_of_outcome = function
+  | Supervise.Ok -> [ ("outcome", J.String "ok") ]
+  | Supervise.Timed_out steps ->
+      [ ("outcome", J.String "timeout"); ("at_step", J.Int steps) ]
+  | Supervise.Crashed detail ->
+      [ ("outcome", J.String "crashed"); ("detail", J.String detail) ]
+  | Supervise.Quarantined detail ->
+      [ ("outcome", J.String "quarantined"); ("detail", J.String detail) ]
+
+let json_of_bug (b : Pipeline.bug_report) =
+  J.Obj
+    [
+      ("issues", J.List (List.map (fun i -> J.Int i) b.Pipeline.br_issues));
+      ("test", J.Int b.Pipeline.br_test);
+      ("trial", J.Int b.Pipeline.br_trial);
+      ("writer", J.String (Prog.to_line b.Pipeline.br_writer));
+      ("reader", J.String (Prog.to_line b.Pipeline.br_reader));
+      ("replay", J.String b.Pipeline.br_replay);
+    ]
+
+let json_of_entry e =
+  let r = e.ck_result in
+  J.Obj
+    ([ ("method", J.String e.ck_method); ("index", J.Int r.Pipeline.tr_index) ]
+    @ json_of_outcome r.Pipeline.tr_outcome
+    @ [
+        ("hinted", J.Bool r.Pipeline.tr_hinted);
+        ("retries", J.Int r.Pipeline.tr_retries);
+        ("exercised", J.Bool r.Pipeline.tr_exercised);
+        ("pmc_observed", J.Bool r.Pipeline.tr_pmc_observed);
+        ("issues", J.List (List.map (fun i -> J.Int i) r.Pipeline.tr_issues));
+        ("unknown", J.Int r.Pipeline.tr_unknown);
+        ("trials", J.Int r.Pipeline.tr_trials);
+        ("steps", J.Int r.Pipeline.tr_steps);
+        ( "bug",
+          match r.Pipeline.tr_bug with
+          | None -> J.Null
+          | Some b -> json_of_bug b );
+      ])
+
+let json_of_file f =
+  J.Obj
+    [
+      ("schema", J.String schema);
+      ("fingerprint", J.String f.ck_fingerprint);
+      ("entries", J.List (List.map json_of_entry f.ck_entries));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Parsing.  Small total accessors over the Export JSON type; any shape
+   violation bubbles up as a descriptive [Error]. *)
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+let field obj name =
+  match obj with
+  | J.Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let get_field obj name =
+  match field obj name with
+  | Some v -> v
+  | None -> bad "missing field %S" name
+
+let to_int name = function J.Int i -> i | _ -> bad "field %S: expected int" name
+let to_bool name = function J.Bool b -> b | _ -> bad "field %S: expected bool" name
+
+let to_string_ name = function
+  | J.String s -> s
+  | _ -> bad "field %S: expected string" name
+
+let to_list name = function
+  | J.List l -> l
+  | _ -> bad "field %S: expected list" name
+
+let int_field o n = to_int n (get_field o n)
+let bool_field o n = to_bool n (get_field o n)
+let string_field o n = to_string_ n (get_field o n)
+
+let outcome_of_json o =
+  match string_field o "outcome" with
+  | "ok" -> Supervise.Ok
+  | "timeout" -> Supervise.Timed_out (int_field o "at_step")
+  | "crashed" -> Supervise.Crashed (string_field o "detail")
+  | "quarantined" -> Supervise.Quarantined (string_field o "detail")
+  | other -> bad "unknown outcome %S" other
+
+let prog_of_field o name =
+  let line = string_field o name in
+  match Prog.of_line line with
+  | Some p -> p
+  | None -> bad "field %S: malformed program %S" name line
+
+let bug_of_json o =
+  {
+    Pipeline.br_issues =
+      List.map (to_int "issues") (to_list "issues" (get_field o "issues"));
+    br_test = int_field o "test";
+    br_trial = int_field o "trial";
+    br_writer = prog_of_field o "writer";
+    br_reader = prog_of_field o "reader";
+    br_replay = string_field o "replay";
+  }
+
+let entry_of_json o =
+  let result =
+    {
+      Pipeline.tr_index = int_field o "index";
+      tr_hinted = bool_field o "hinted";
+      tr_outcome = outcome_of_json o;
+      tr_retries = int_field o "retries";
+      tr_exercised = bool_field o "exercised";
+      tr_pmc_observed = bool_field o "pmc_observed";
+      tr_issues =
+        List.map (to_int "issues") (to_list "issues" (get_field o "issues"));
+      tr_unknown = int_field o "unknown";
+      tr_trials = int_field o "trials";
+      tr_steps = int_field o "steps";
+      tr_bug =
+        (match get_field o "bug" with
+        | J.Null -> None
+        | b -> Some (bug_of_json b));
+    }
+  in
+  { ck_method = string_field o "method"; ck_result = result }
+
+let file_of_json j =
+  let s = string_field j "schema" in
+  if s <> schema then bad "unsupported checkpoint schema %S" s;
+  {
+    ck_fingerprint = string_field j "fingerprint";
+    ck_entries =
+      List.map entry_of_json (to_list "entries" (get_field j "entries"));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* File I/O: write-to-temp-then-rename, so the journal on disk is
+   always a complete document even if the campaign dies mid-write. *)
+
+let save path f =
+  let tmp = path ^ ".tmp" in
+  J.write_file tmp (json_of_file f);
+  Sys.rename tmp path
+
+let load path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | text -> (
+      match J.of_string_opt text with
+      | None -> Error (Printf.sprintf "%s: not valid JSON" path)
+      | Some j -> (
+          try Ok (file_of_json j)
+          with Bad msg -> Error (Printf.sprintf "%s: %s" path msg)))
+
+let lookup entries ~method_ index =
+  List.find_map
+    (fun e ->
+      if e.ck_method = method_ && e.ck_result.Pipeline.tr_index = index then
+        Some e.ck_result
+      else None)
+    entries
+
+(* ------------------------------------------------------------------ *)
+(* Live journal.                                                       *)
+
+type sink = {
+  sk_path : string;
+  sk_fingerprint : string;
+  mutable sk_entries : entry list;  (* reversed *)
+  sk_mutex : Mutex.t;
+}
+
+let create_sink ~path ~fingerprint ~initial =
+  let sink =
+    {
+      sk_path = path;
+      sk_fingerprint = fingerprint;
+      sk_entries = List.rev initial;
+      sk_mutex = Mutex.create ();
+    }
+  in
+  save path
+    { ck_fingerprint = fingerprint; ck_entries = initial };
+  sink
+
+let record sink ~method_ result =
+  Mutex.lock sink.sk_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock sink.sk_mutex)
+    (fun () ->
+      sink.sk_entries <- { ck_method = method_; ck_result = result } :: sink.sk_entries;
+      save sink.sk_path
+        {
+          ck_fingerprint = sink.sk_fingerprint;
+          ck_entries = List.rev sink.sk_entries;
+        })
+
+let entries sink =
+  Mutex.lock sink.sk_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock sink.sk_mutex)
+    (fun () -> List.rev sink.sk_entries)

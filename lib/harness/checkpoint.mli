@@ -1,0 +1,55 @@
+(** Campaign checkpoint/resume: a crash-safe journal of completed
+    concurrent tests.
+
+    The coordinator appends one entry per finished test (keyed by the
+    method name and the test's 1-based plan index) and rewrites the
+    journal with a write-to-temp-then-rename, so a campaign killed at
+    any point leaves a loadable file.  On [--resume] the journal's
+    entries are fed to [Pipeline.run_method]'s [resume] hook: finished
+    work is skipped, and because per-test seeds derive from the plan
+    index, the merged statistics are byte-identical to an uninterrupted
+    run's.
+
+    A fingerprint of the campaign parameters guards against resuming
+    with a different configuration, which would silently mix
+    incompatible results. *)
+
+type entry = { ck_method : string; ck_result : Pipeline.test_result }
+
+type file = {
+  ck_fingerprint : string;
+  ck_entries : entry list;  (** in journal order *)
+}
+
+val fingerprint :
+  cfg:Pipeline.config ->
+  budget:int ->
+  methods:string list ->
+  ?extra:string ->
+  unit ->
+  string
+(** A stable digest of everything that shapes the plan and the per-test
+    seeds.  [extra] folds in CLI-level knobs (fault spec, watchdog,
+    retry limit) that also affect results. *)
+
+val save : string -> file -> unit
+(** Serialize and atomically replace [path] (write temp, rename). *)
+
+val load : string -> (file, string) result
+(** Parse a journal; [Error] explains schema/shape problems. *)
+
+val lookup : entry list -> method_:string -> int -> Pipeline.test_result option
+(** The journaled result for this method's plan index, if any. *)
+
+type sink
+(** A live journal: entries so far plus the path they are persisted to.
+    [record] is safe to call from [Parallel.run_method]'s serialized
+    [on_result] hook. *)
+
+val create_sink : path:string -> fingerprint:string -> initial:entry list -> sink
+
+val record : sink -> method_:string -> Pipeline.test_result -> unit
+(** Append one completed test and persist the whole journal
+    crash-safely. *)
+
+val entries : sink -> entry list

@@ -6,160 +6,130 @@
    single-machine analogue: the concurrent-test plan is sharded
    round-robin over worker domains, each with its own guest VM (built
    from the same kernel configuration, so all snapshots are identical),
-   and the per-method statistics are merged deterministically.
+   and the per-test results are merged through the same
+   [Pipeline.stats_of_results] fold the sequential campaign uses.
 
    Per-test seeds derive from the test's global plan index, so a parallel
    run explores exactly the same interleavings as the sequential one and
-   finds exactly the same issues. *)
+   finds exactly the same issues.
+
+   Resilience: every test runs under [Pipeline.run_one_test]'s
+   supervisor, and a worker domain that dies outright (a harness bug, an
+   OOM kill of its VM, ...) fails only its shard — the join is wrapped,
+   the dead shard's tests are recorded as [Crashed], and the surviving
+   shards' statistics still merge. *)
 
 module Exec = Sched.Exec
 
-type shard_result = {
-  sr_executed : int;
-  sr_hinted : int;
-  sr_hint_exercised : int;
-  sr_pmc_observed : int;
-  sr_issues : (int * int) list;  (* issue id, global test index *)
-  sr_unknown : int;
-  sr_trials : int;
-  sr_steps : int;
-  sr_bugs : Pipeline.bug_report list;  (* br_test is the global index *)
-}
+let prog_of_table (progs : (int, Fuzzer.Prog.t) Hashtbl.t) id =
+  match Hashtbl.find_opt progs id with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "parallel: unknown corpus id %d" id)
 
 let run_shard ~(cfg : Pipeline.config) ~(ident : Core.Identify.t)
-    ~(prog_of_id : int -> Fuzzer.Prog.t) ~kind
+    ~(prog_of_id : int -> Fuzzer.Prog.t) ~kind ?sup ?faults
+    ?(on_result = fun (_ : Pipeline.test_result) -> ())
     (tests : (int * Core.Select.conc_test) list) =
   (* each worker gets a private guest VM *)
   let env = Exec.make_env cfg.Pipeline.kernel in
-  let executed = ref 0
-  and hinted = ref 0
-  and hint_exercised = ref 0
-  and pmc_observed = ref 0
-  and unknown = ref 0
-  and trials = ref 0
-  and steps = ref 0 in
-  let bugs = ref [] in
-  let issues : (int, int) Hashtbl.t = Hashtbl.create 16 in
-  List.iter
-    (fun (global_idx, (ct : Core.Select.conc_test)) ->
-      incr executed;
-      if ct.Core.Select.hint <> None then incr hinted;
-      let kind =
-        match ct.Core.Select.hint with
-        | Some _ -> kind
-        | None -> Sched.Explore.Naive 8
+  List.map
+    (fun (index, ct) ->
+      let r =
+        Pipeline.run_one_test ~env ~ident ~cfg ~kind ?sup ?faults ~prog_of_id
+          ~index ct
       in
-      let writer = prog_of_id ct.Core.Select.writer
-      and reader = prog_of_id ct.Core.Select.reader in
-      let res =
-        Sched.Explore.run env ~ident:(Some ident) ~writer ~reader
-          ~hint:ct.Core.Select.hint ~kind ~trials:cfg.Pipeline.trials_per_test
-          ~seed:(cfg.Pipeline.seed + (1000 * (global_idx + 1)))
-          ~stop_on_bug:false ()
-      in
-      (match
-         Pipeline.bug_of_result ~test_idx:(global_idx + 1) ~writer ~reader res
-       with
-      | Some b -> bugs := b :: !bugs
-      | None -> ());
-      if res.Sched.Explore.any_exercised then incr hint_exercised;
-      if res.Sched.Explore.any_pmc_observed then incr pmc_observed;
-      trials := !trials + List.length res.Sched.Explore.trials;
-      steps := !steps + res.Sched.Explore.total_steps;
-      List.iter
-        (fun id ->
-          match Hashtbl.find_opt issues id with
-          | Some first when first <= global_idx -> ()
-          | _ -> Hashtbl.replace issues id global_idx)
-        (Sched.Explore.issues_found res);
-      List.iter
-        (fun (f : Detectors.Oracle.finding) ->
-          if f.Detectors.Oracle.issue = None then incr unknown)
-        (Sched.Explore.findings_found res))
-    tests;
-  {
-    sr_executed = !executed;
-    sr_hinted = !hinted;
-    sr_hint_exercised = !hint_exercised;
-    sr_pmc_observed = !pmc_observed;
-    sr_issues = Hashtbl.fold (fun id first acc -> (id, first) :: acc) issues [];
-    sr_unknown = !unknown;
-    sr_trials = !trials;
-    sr_steps = !steps;
-    sr_bugs = List.rev !bugs;
-  }
+      on_result r;
+      r)
+    tests
 
-(* Split [l] round-robin into [n] shards, keeping global indices. *)
-let shard n l =
+(* A whole shard lost to a dead worker: synthesize a [Crashed] record
+   per test so the campaign still accounts for every planned test.
+   These are deliberately NOT journaled as completed work — a resumed
+   campaign re-runs them. *)
+let shard_failure tests exn =
+  let detail = Supervise.describe exn in
+  List.map
+    (fun (index, (ct : Core.Select.conc_test)) ->
+      {
+        Pipeline.tr_index = index;
+        tr_hinted = ct.Core.Select.hint <> None;
+        tr_outcome = Supervise.Crashed ("worker domain died: " ^ detail);
+        tr_retries = 0;
+        tr_exercised = false;
+        tr_pmc_observed = false;
+        tr_issues = [];
+        tr_unknown = 0;
+        tr_trials = 0;
+        tr_steps = 0;
+        tr_bug = None;
+      })
+    tests
+
+(* Split pre-indexed work round-robin into [n] shards. *)
+let shard n indexed =
   let shards = Array.make n [] in
-  List.iteri (fun i x -> shards.(i mod n) <- (i, x) :: shards.(i mod n)) l;
+  List.iteri
+    (fun i x -> shards.(i mod n) <- x :: shards.(i mod n))
+    indexed;
   Array.map List.rev shards
 
 let default_domains () = max 1 (min 4 (Domain.recommended_domain_count () - 1))
 
 (* Parallel analogue of [Pipeline.run_method].  The plan is built in the
    calling domain; execution fans out over [domains] workers. *)
-let run_method ?(kind = Sched.Explore.Snowboard) ?domains (t : Pipeline.t)
+let run_method ?(kind = Sched.Explore.Snowboard) ?domains ?sup ?faults
+    ?(resume = fun _ -> None) ?(on_result = fun _ -> ()) (t : Pipeline.t)
     method_ ~budget =
   let domains = match domains with Some d -> max 1 d | None -> default_domains () in
-  let rng = Random.State.make [| t.Pipeline.cfg.Pipeline.seed + 7919 |] in
-  let corpus_ids =
-    List.map
-      (fun (e : Fuzzer.Corpus.entry) -> e.Fuzzer.Corpus.id)
-      (Fuzzer.Corpus.to_list t.Pipeline.corpus)
-  in
-  let plan = Core.Select.plan method_ t.Pipeline.ident ~corpus_ids rng ~max:budget in
+  let plan = Pipeline.plan_method t method_ ~budget in
   (* snapshot the programs into a plain lookup the domains can share *)
   let progs : (int, Fuzzer.Prog.t) Hashtbl.t = Hashtbl.create 64 in
   List.iter
     (fun (e : Fuzzer.Corpus.entry) ->
       Hashtbl.replace progs e.Fuzzer.Corpus.id e.Fuzzer.Corpus.prog)
     (Fuzzer.Corpus.to_list t.Pipeline.corpus);
-  let prog_of_id id = Hashtbl.find progs id in
-  let shards = shard domains plan.Core.Select.tests in
+  let prog_of_id = prog_of_table progs in
+  (* split the plan into already-journaled results and fresh work *)
+  let indexed =
+    List.mapi (fun i ct -> (i + 1, ct)) plan.Core.Select.tests
+  in
+  let stored, todo =
+    List.partition_map
+      (fun (index, ct) ->
+        match resume index with
+        | Some r -> Either.Left r
+        | None -> Either.Right (index, ct))
+      indexed
+  in
+  (* the journal sink is shared mutable state; serialize the callback *)
+  let sink_mutex = Mutex.create () in
+  let record r =
+    Mutex.lock sink_mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock sink_mutex) (fun () ->
+        on_result r)
+  in
+  let shards = shard domains todo in
   let workers =
     Array.map
       (fun sh ->
-        Domain.spawn (fun () ->
-            run_shard ~cfg:t.Pipeline.cfg ~ident:t.Pipeline.ident ~prog_of_id
-              ~kind sh))
+        ( sh,
+          Domain.spawn (fun () ->
+              run_shard ~cfg:t.Pipeline.cfg ~ident:t.Pipeline.ident
+                ~prog_of_id ~kind ?sup ?faults ~on_result:record sh) ))
       shards
   in
-  let results = Array.map Domain.join workers in
-  let sum f = Array.fold_left (fun acc r -> acc + f r) 0 results in
-  let issues : (int, int) Hashtbl.t = Hashtbl.create 16 in
-  Array.iter
-    (fun r ->
-      List.iter
-        (fun (id, gidx) ->
-          match Hashtbl.find_opt issues id with
-          | Some first when first <= gidx -> ()
-          | _ -> Hashtbl.replace issues id gidx)
-        r.sr_issues)
-    results;
-  {
-    Pipeline.method_;
-    num_clusters = plan.Core.Select.num_clusters;
-    planned = List.length plan.Core.Select.tests;
-    executed = sum (fun r -> r.sr_executed);
-    hinted = sum (fun r -> r.sr_hinted);
-    hint_exercised = sum (fun r -> r.sr_hint_exercised);
-    pmc_observed = sum (fun r -> r.sr_pmc_observed);
-    issues =
-      Hashtbl.fold (fun id first acc -> (id, first + 1) :: acc) issues []
-      |> List.sort compare;
-    unknown_findings = sum (fun r -> r.sr_unknown);
-    total_trials = sum (fun r -> r.sr_trials);
-    total_steps = sum (fun r -> r.sr_steps);
-    bugs =
-      (* merged in global test order, matching the sequential run *)
-      Array.to_list results
-      |> List.concat_map (fun r -> r.sr_bugs)
-      |> List.sort (fun (a : Pipeline.bug_report) b ->
-             compare a.Pipeline.br_test b.Pipeline.br_test);
-  }
+  (* one crashed worker fails its shard, not the campaign *)
+  let results =
+    Array.to_list workers
+    |> List.concat_map (fun (sh, w) ->
+           try Domain.join w with e -> shard_failure sh e)
+  in
+  Pipeline.stats_of_results ~method_
+    ~num_clusters:plan.Core.Select.num_clusters
+    ~planned:(List.length plan.Core.Select.tests)
+    (stored @ results)
 
-let run_campaign ?domains t ~budget =
+let run_campaign ?domains ?sup ?faults t ~budget =
   List.map
-    (fun m -> run_method ?domains t m ~budget)
+    (fun m -> run_method ?domains ?sup ?faults t m ~budget)
     Core.Select.all_paper_methods

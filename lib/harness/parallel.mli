@@ -2,17 +2,59 @@
     analogue of the paper's distributed work queue (section 4.4.1).  The
     plan is sharded round-robin; every worker gets its own guest VM; the
     per-test seed derives from the global plan index, so the parallel run
-    finds exactly the same issues as [Pipeline.run_method]. *)
+    finds exactly the same issues as [Pipeline.run_method].
+
+    Resilience: tests run under {!Pipeline.run_one_test}'s supervisor,
+    and a worker domain that dies outright fails only its shard — its
+    tests are recorded as [Crashed] while the surviving shards' results
+    still merge into the method statistics. *)
 
 val default_domains : unit -> int
+
+val prog_of_table : (int, Fuzzer.Prog.t) Hashtbl.t -> int -> Fuzzer.Prog.t
+(** Lookup in the shared program snapshot; raises [Invalid_argument]
+    naming the id if unknown (mirrors {!Pipeline.prog_of_id}). *)
+
+val run_shard :
+  cfg:Pipeline.config ->
+  ident:Core.Identify.t ->
+  prog_of_id:(int -> Fuzzer.Prog.t) ->
+  kind:Sched.Explore.kind ->
+  ?sup:Supervise.policy ->
+  ?faults:Sched.Fault.plan ->
+  ?on_result:(Pipeline.test_result -> unit) ->
+  (int * Core.Select.conc_test) list ->
+  Pipeline.test_result list
+(** Run one shard of (global 1-based index, test) pairs in a private
+    guest VM, invoking [on_result] after each test (the coordinator
+    passes a mutex-guarded journal hook). *)
+
+val shard_failure :
+  (int * Core.Select.conc_test) list -> exn -> Pipeline.test_result list
+(** The results synthesized for a shard whose worker domain died: one
+    [Crashed] record per test.  Not journaled as completed work, so a
+    resumed campaign re-runs them. *)
 
 val run_method :
   ?kind:Sched.Explore.kind ->
   ?domains:int ->
+  ?sup:Supervise.policy ->
+  ?faults:Sched.Fault.plan ->
+  ?resume:(int -> Pipeline.test_result option) ->
+  ?on_result:(Pipeline.test_result -> unit) ->
   Pipeline.t ->
   Core.Select.method_ ->
   budget:int ->
   Pipeline.method_stats
+(** Parallel analogue of {!Pipeline.run_method}, same optional
+    supervision/fault/checkpoint hooks.  [on_result] is serialized
+    under a mutex; a worker that dies fails only its shard
+    ({!shard_failure}). *)
 
 val run_campaign :
-  ?domains:int -> Pipeline.t -> budget:int -> Pipeline.method_stats list
+  ?domains:int ->
+  ?sup:Supervise.policy ->
+  ?faults:Sched.Fault.plan ->
+  Pipeline.t ->
+  budget:int ->
+  Pipeline.method_stats list

@@ -161,6 +161,46 @@ let bug_of_result ~test_idx ~writer ~reader (res : Sched.Explore.result) =
   in
   go 1 res.Sched.Explore.trials
 
+(* The supervised record of one executed (or attempted) concurrent
+   test.  This is the unit the resilient campaign runtime works in: the
+   checkpoint journal stores these, parallel workers ship them back to
+   the coordinator, and [stats_of_results] folds them into method
+   statistics — so sequential, parallel and resumed campaigns all
+   aggregate through the same code path. *)
+type test_result = {
+  tr_index : int;  (* 1-based index of the test in its method's plan *)
+  tr_hinted : bool;
+  tr_outcome : Supervise.outcome;
+  tr_retries : int;
+  tr_exercised : bool;
+  tr_pmc_observed : bool;
+  tr_issues : int list;  (* distinct issues this test found, sorted *)
+  tr_unknown : int;  (* untriaged findings *)
+  tr_trials : int;
+  tr_steps : int;
+  tr_bug : bug_report option;
+}
+
+(* Supervision outcome tallies for one method. *)
+type outcome_stats = {
+  oc_ok : int;
+  oc_timed_out : int;
+  oc_crashed : int;
+  oc_quarantined : int;
+  oc_retries : int;  (* total retries across all tests *)
+}
+
+let zero_outcomes =
+  { oc_ok = 0; oc_timed_out = 0; oc_crashed = 0; oc_quarantined = 0; oc_retries = 0 }
+
+let count_outcome oc (r : test_result) =
+  let oc = { oc with oc_retries = oc.oc_retries + r.tr_retries } in
+  match r.tr_outcome with
+  | Supervise.Ok -> { oc with oc_ok = oc.oc_ok + 1 }
+  | Supervise.Timed_out _ -> { oc with oc_timed_out = oc.oc_timed_out + 1 }
+  | Supervise.Crashed _ -> { oc with oc_crashed = oc.oc_crashed + 1 }
+  | Supervise.Quarantined _ -> { oc with oc_quarantined = oc.oc_quarantined + 1 }
+
 (* Execution statistics for one generation method. *)
 type method_stats = {
   method_ : Core.Select.method_;
@@ -175,84 +215,164 @@ type method_stats = {
   total_trials : int;
   total_steps : int;
   bugs : bug_report list;  (* one per test with findings, in test order *)
+  outcomes : outcome_stats;
 }
 
-let run_method ?(kind = Sched.Explore.Snowboard) t method_ ~budget =
-  Obs.Span.with_span
-    ("pipeline.run_method(" ^ Core.Select.method_name method_ ^ ")")
-  @@ fun () ->
+let degraded stats =
+  List.exists
+    (fun s ->
+      s.outcomes.oc_timed_out > 0
+      || s.outcomes.oc_crashed > 0
+      || s.outcomes.oc_quarantined > 0)
+    stats
+
+(* Run (or re-run, under retry) one planned concurrent test under
+   supervision.  Takes the environment and identification explicitly
+   rather than the pipeline handle so parallel shard workers — which own
+   a private VM — share this exact code path with the sequential
+   campaign.  A failed attempt discards its partial exploration data:
+   like the paper's re-issued work queue items, a test either completes
+   and contributes whole results or contributes only its outcome. *)
+let run_one_test ~env ~ident ~(cfg : config) ~kind
+    ?(sup = Supervise.default) ?faults ~prog_of_id ~index
+    (ct : Core.Select.conc_test) =
+  let hinted = ct.hint <> None in
+  let kind =
+    match ct.hint with Some _ -> kind | None -> Sched.Explore.Naive 8
+  in
+  let writer = prog_of_id ct.writer and reader = prog_of_id ct.reader in
+  let seed = cfg.seed + (1000 * index) in
+  let sv =
+    Supervise.run ~policy:sup ~seed (fun ~attempt ->
+        Sched.Explore.run env ~ident:(Some ident) ~writer ~reader
+          ~hint:ct.hint ~kind ~trials:cfg.trials_per_test ~seed
+          ~stop_on_bug:false ?watchdog:sup.Supervise.step_budget
+          ?fault:(Option.map (fun p -> (p, index)) faults)
+          ~attempt ())
+  in
+  match sv.Supervise.sv_result with
+  | Some res ->
+      {
+        tr_index = index;
+        tr_hinted = hinted;
+        tr_outcome = sv.Supervise.sv_outcome;
+        tr_retries = sv.Supervise.sv_retries;
+        tr_exercised = res.Sched.Explore.any_exercised;
+        tr_pmc_observed = res.Sched.Explore.any_pmc_observed;
+        tr_issues = Sched.Explore.issues_found res;
+        tr_unknown =
+          List.length
+            (List.filter
+               (fun (f : Detectors.Oracle.finding) ->
+                 f.Detectors.Oracle.issue = None)
+               (Sched.Explore.findings_found res));
+        tr_trials = List.length res.Sched.Explore.trials;
+        tr_steps = res.Sched.Explore.total_steps;
+        tr_bug = bug_of_result ~test_idx:index ~writer ~reader res;
+      }
+  | None ->
+      Log.warn (fun m ->
+          m "test %d: %a (%d retries)" index Supervise.pp_outcome
+            sv.Supervise.sv_outcome sv.Supervise.sv_retries);
+      {
+        tr_index = index;
+        tr_hinted = hinted;
+        tr_outcome = sv.Supervise.sv_outcome;
+        tr_retries = sv.Supervise.sv_retries;
+        tr_exercised = false;
+        tr_pmc_observed = false;
+        tr_issues = [];
+        tr_unknown = 0;
+        tr_trials = 0;
+        tr_steps = 0;
+        tr_bug = None;
+      }
+
+(* Fold per-test results into method statistics.  Results are sorted by
+   plan index first, so statistics are identical however the results
+   were produced — sequentially, by parallel shards, or merged from a
+   checkpoint journal plus a resumed run. *)
+let stats_of_results ~method_ ~num_clusters ~planned results =
+  let results =
+    List.sort (fun a b -> compare a.tr_index b.tr_index) results
+  in
+  let issues : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun id ->
+          if not (Hashtbl.mem issues id) then
+            Hashtbl.replace issues id r.tr_index)
+        r.tr_issues)
+    results;
+  let count f = List.length (List.filter f results) in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 results in
+  {
+    method_;
+    num_clusters;
+    planned;
+    executed = List.length results;
+    hinted = count (fun r -> r.tr_hinted);
+    hint_exercised = count (fun r -> r.tr_exercised);
+    pmc_observed = count (fun r -> r.tr_pmc_observed);
+    issues =
+      Hashtbl.fold (fun id first acc -> (id, first) :: acc) issues []
+      |> List.sort compare;
+    unknown_findings = sum (fun r -> r.tr_unknown);
+    total_trials = sum (fun r -> r.tr_trials);
+    total_steps = sum (fun r -> r.tr_steps);
+    bugs = List.filter_map (fun r -> r.tr_bug) results;
+    outcomes = List.fold_left count_outcome zero_outcomes results;
+  }
+
+let plan_method t method_ ~budget =
   let rng = Random.State.make [| t.cfg.seed + 7919 |] in
   let corpus_ids =
     List.map (fun (e : Fuzzer.Corpus.entry) -> e.id) (Fuzzer.Corpus.to_list t.corpus)
   in
-  let plan =
-    Obs.Span.with_span "select" (fun () ->
-        Core.Select.plan method_ t.ident ~corpus_ids rng ~max:budget)
+  Obs.Span.with_span "select" (fun () ->
+      Core.Select.plan method_ t.ident ~corpus_ids rng ~max:budget)
+
+let run_method ?(kind = Sched.Explore.Snowboard) ?sup ?faults
+    ?(resume = fun _ -> None) ?(on_result = fun _ -> ()) t method_ ~budget =
+  Obs.Span.with_span
+    ("pipeline.run_method(" ^ Core.Select.method_name method_ ^ ")")
+  @@ fun () ->
+  let plan = plan_method t method_ ~budget in
+  let results =
+    Obs.Span.with_span "execute" @@ fun () ->
+    List.mapi
+      (fun i ct ->
+        let index = i + 1 in
+        match resume index with
+        | Some r -> r
+        | None ->
+            let r =
+              run_one_test ~env:t.env ~ident:t.ident ~cfg:t.cfg ~kind ?sup
+                ?faults ~prog_of_id:(prog_of_id t) ~index ct
+            in
+            on_result r;
+            r)
+      plan.Core.Select.tests
   in
-  let executed = ref 0
-  and hinted = ref 0
-  and hint_exercised = ref 0
-  and pmc_observed = ref 0
-  and unknown = ref 0
-  and total_trials = ref 0
-  and total_steps = ref 0 in
-  let bugs = ref [] in
-  let issues : (int, int) Hashtbl.t = Hashtbl.create 16 in
-  Obs.Span.with_span "execute" @@ fun () ->
-  List.iter
-    (fun (ct : Core.Select.conc_test) ->
-      incr executed;
-      if ct.hint <> None then incr hinted;
-      let kind = match ct.hint with Some _ -> kind | None -> Sched.Explore.Naive 8 in
-      let writer = prog_of_id t ct.writer and reader = prog_of_id t ct.reader in
-      let res =
-        Sched.Explore.run t.env ~ident:(Some t.ident) ~writer ~reader
-          ~hint:ct.hint ~kind ~trials:t.cfg.trials_per_test
-          ~seed:(t.cfg.seed + (1000 * !executed))
-          ~stop_on_bug:false ()
-      in
-      (match bug_of_result ~test_idx:!executed ~writer ~reader res with
-      | Some b -> bugs := b :: !bugs
-      | None -> ());
-      if res.Sched.Explore.any_exercised then incr hint_exercised;
-      if res.Sched.Explore.any_pmc_observed then incr pmc_observed;
-      total_trials := !total_trials + List.length res.Sched.Explore.trials;
-      total_steps := !total_steps + res.Sched.Explore.total_steps;
-      List.iter
-        (fun id -> if not (Hashtbl.mem issues id) then Hashtbl.replace issues id !executed)
-        (Sched.Explore.issues_found res);
-      List.iter
-        (fun (f : Detectors.Oracle.finding) ->
-          if f.Detectors.Oracle.issue = None then incr unknown)
-        (Sched.Explore.findings_found res))
-    plan.Core.Select.tests;
+  let stats =
+    stats_of_results ~method_ ~num_clusters:plan.Core.Select.num_clusters
+      ~planned:(List.length plan.Core.Select.tests) results
+  in
   Log.info (fun m ->
-      m "%s: %d tests executed, issues [%s]"
+      m "%s: %d tests executed (%d ok, %d timeout, %d crashed, %d quarantined), issues [%s]"
         (Core.Select.method_name method_)
-        !executed
-        (String.concat ", "
-           (Hashtbl.fold (fun id _ acc -> string_of_int id :: acc) issues [])));
-  {
-    method_;
-    num_clusters = plan.Core.Select.num_clusters;
-    planned = List.length plan.Core.Select.tests;
-    executed = !executed;
-    hinted = !hinted;
-    hint_exercised = !hint_exercised;
-    pmc_observed = !pmc_observed;
-    issues =
-      Hashtbl.fold (fun id first acc -> (id, first) :: acc) issues []
-      |> List.sort compare;
-    unknown_findings = !unknown;
-    total_trials = !total_trials;
-    total_steps = !total_steps;
-    bugs = List.rev !bugs;
-  }
+        stats.executed stats.outcomes.oc_ok stats.outcomes.oc_timed_out
+        stats.outcomes.oc_crashed stats.outcomes.oc_quarantined
+        (String.concat ", " (List.map (fun (id, _) -> string_of_int id) stats.issues)));
+  stats
 
 (* A full campaign: every generation method with the same budget; the
    union of issues is what Table 2 reports for a kernel version. *)
-let run_campaign t ~budget =
-  List.map (fun m -> run_method t m ~budget) Core.Select.all_paper_methods
+let run_campaign ?sup ?faults t ~budget =
+  List.map
+    (fun m -> run_method ?sup ?faults t m ~budget)
+    Core.Select.all_paper_methods
 
 let issues_union stats =
   List.concat_map (fun s -> List.map fst s.issues) stats |> List.sort_uniq compare

@@ -66,6 +66,36 @@ val bug_of_result :
   bug_report option
 (** The first buggy trial of an exploration result, if any. *)
 
+type test_result = {
+  tr_index : int;  (** 1-based index of the test in its method's plan *)
+  tr_hinted : bool;
+  tr_outcome : Supervise.outcome;
+  tr_retries : int;
+  tr_exercised : bool;
+  tr_pmc_observed : bool;
+  tr_issues : int list;  (** distinct issues this test found, sorted *)
+  tr_unknown : int;  (** untriaged findings *)
+  tr_trials : int;
+  tr_steps : int;
+  tr_bug : bug_report option;
+}
+(** The supervised record of one executed (or attempted) concurrent
+    test: the unit the checkpoint journal stores, parallel workers ship
+    back and {!stats_of_results} aggregates.  A failed attempt carries
+    only its outcome — partial exploration data is discarded, like the
+    paper's re-issued work-queue items. *)
+
+type outcome_stats = {
+  oc_ok : int;
+  oc_timed_out : int;
+  oc_crashed : int;
+  oc_quarantined : int;
+  oc_retries : int;  (** total retries across all tests *)
+}
+(** Supervision outcome tallies for one method. *)
+
+val zero_outcomes : outcome_stats
+
 type method_stats = {
   method_ : Core.Select.method_;
   num_clusters : int;  (** Table 3's "Exemplar PMCs" column (0 = NA) *)
@@ -81,15 +111,70 @@ type method_stats = {
   total_steps : int;
   bugs : bug_report list;
       (** one report per test with findings, in test order *)
+  outcomes : outcome_stats;
 }
 
+val degraded : method_stats list -> bool
+(** Any non-[Ok] outcome anywhere: the campaign completed but the
+    harness lost work (drives the CLI's "degraded" exit code). *)
+
+val run_one_test :
+  env:Sched.Exec.env ->
+  ident:Core.Identify.t ->
+  cfg:config ->
+  kind:Sched.Explore.kind ->
+  ?sup:Supervise.policy ->
+  ?faults:Sched.Fault.plan ->
+  prog_of_id:(int -> Fuzzer.Prog.t) ->
+  index:int ->
+  Core.Select.conc_test ->
+  test_result
+(** Run one planned test under supervision ({!Supervise.run}) with the
+    deterministic per-test seed [cfg.seed + 1000 * index].  Explicit
+    environment/identification so parallel shard workers share this
+    exact code path. *)
+
+val plan_method : t -> Core.Select.method_ -> budget:int -> Core.Select.plan
+(** Build one method's concurrent-test plan (deterministic in the
+    pipeline seed); shared by the sequential and parallel runners. *)
+
+val stats_of_results :
+  method_:Core.Select.method_ ->
+  num_clusters:int ->
+  planned:int ->
+  test_result list ->
+  method_stats
+(** Fold per-test results (any order; sorted by [tr_index] internally)
+    into method statistics — the single aggregation path for
+    sequential, parallel and resumed campaigns. *)
+
 val run_method :
-  ?kind:Sched.Explore.kind -> t -> Core.Select.method_ -> budget:int -> method_stats
+  ?kind:Sched.Explore.kind ->
+  ?sup:Supervise.policy ->
+  ?faults:Sched.Fault.plan ->
+  ?resume:(int -> test_result option) ->
+  ?on_result:(test_result -> unit) ->
+  t ->
+  Core.Select.method_ ->
+  budget:int ->
+  method_stats
 (** Spend a concurrent-test budget under one generation method.  Hinted
     tests run under [kind] (Snowboard by default); hint-less tests run
-    under naive random preemption. *)
+    under naive random preemption.
 
-val run_campaign : t -> budget:int -> method_stats list
+    [sup] is the supervision policy (default {!Supervise.default});
+    [faults] a seeded fault plan to inject.  [resume] is consulted with
+    each 1-based plan index before running: returning [Some r] (e.g.
+    from a checkpoint journal) skips the test and reuses [r].
+    [on_result] observes each freshly executed result — the checkpoint
+    sink's hook — and is not called for resumed tests. *)
+
+val run_campaign :
+  ?sup:Supervise.policy ->
+  ?faults:Sched.Fault.plan ->
+  t ->
+  budget:int ->
+  method_stats list
 (** All eleven paper methods with the same budget. *)
 
 val issues_union : method_stats list -> int list

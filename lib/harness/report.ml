@@ -74,6 +74,29 @@ let accuracy (stats : Pipeline.method_stats list) =
     (if hinted = 0 then 0. else 100. *. float_of_int hx /. float_of_int hinted);
   hr ()
 
+(* Supervision outcome summary: printed when any test ended non-Ok, so
+   a clean campaign's console output is unchanged. *)
+let resilience (stats : Pipeline.method_stats list) =
+  if Pipeline.degraded stats
+     || List.exists (fun s -> s.Pipeline.outcomes.Pipeline.oc_retries > 0) stats
+  then begin
+    pf "@.Supervision outcomes (harness degraded: %b)@."
+      (Pipeline.degraded stats);
+    hr ();
+    pf "%-22s %8s %8s %8s %8s %12s %8s@." "Method" "tests" "ok" "timeout"
+      "crashed" "quarantined" "retries";
+    hr ();
+    List.iter
+      (fun (s : Pipeline.method_stats) ->
+        let o = s.Pipeline.outcomes in
+        pf "%-22s %8d %8d %8d %8d %12d %8d@."
+          (Core.Select.method_name s.Pipeline.method_)
+          s.Pipeline.executed o.Pipeline.oc_ok o.Pipeline.oc_timed_out
+          o.Pipeline.oc_crashed o.Pipeline.oc_quarantined o.Pipeline.oc_retries)
+      stats;
+    hr ()
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Machine-readable summary: the JSON counterpart of tables 2 and 3 and
    the accuracy section, suitable for BENCH_*.json artifacts.            *)
@@ -96,6 +119,16 @@ let json_of_bug ?method_ (b : Pipeline.bug_report) =
         ("replay", J.String b.Pipeline.br_replay);
       ])
 
+let json_of_outcomes (o : Pipeline.outcome_stats) =
+  J.Obj
+    [
+      ("ok", J.Int o.Pipeline.oc_ok);
+      ("timed_out", J.Int o.Pipeline.oc_timed_out);
+      ("crashed", J.Int o.Pipeline.oc_crashed);
+      ("quarantined", J.Int o.Pipeline.oc_quarantined);
+      ("retries", J.Int o.Pipeline.oc_retries);
+    ]
+
 let json_of_method (s : Pipeline.method_stats) =
   J.Obj
     [
@@ -103,6 +136,7 @@ let json_of_method (s : Pipeline.method_stats) =
       ("exemplar_pmcs", J.Int s.Pipeline.num_clusters);
       ("planned", J.Int s.Pipeline.planned);
       ("executed", J.Int s.Pipeline.executed);
+      ("outcomes", json_of_outcomes s.Pipeline.outcomes);
       ("hinted", J.Int s.Pipeline.hinted);
       ("hint_exercised", J.Int s.Pipeline.hint_exercised);
       ("pmc_observed", J.Int s.Pipeline.pmc_observed);
@@ -183,6 +217,7 @@ let json_summary ?pipeline ~(stats : Pipeline.method_stats list)
   J.Obj
     (pipeline_fields
     @ [
+        ("degraded", J.Bool (Pipeline.degraded stats));
         ("table3", J.List (List.map json_of_method stats));
         (* flat list across methods so [snowboard explain] can pick a bug
            from the report without knowing the method layout *)

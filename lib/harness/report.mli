@@ -11,6 +11,11 @@ val table3 : Pipeline.method_stats list -> unit
 val accuracy : Pipeline.method_stats list -> unit
 (** Section 5.3.2's PMC-accuracy summary, aggregated over methods. *)
 
+val resilience : Pipeline.method_stats list -> unit
+(** Supervision outcome table (timeouts, crashes, quarantines, retries
+    per method).  Silent when every test completed cleanly with no
+    retries, so healthy campaigns print exactly what they always did. *)
+
 val pmc_summary : Pipeline.t -> unit
 (** Corpus/profile/identification statistics of a prepared pipeline. *)
 
@@ -19,6 +24,8 @@ val json_of_bug :
 (** One bug report as JSON: triaged issues, test/trial indices, the two
     programs in [Fuzzer.Prog.to_line] form, and the replay trace —
     everything [snowboard explain] needs to re-execute the trial. *)
+
+val json_of_outcomes : Pipeline.outcome_stats -> Obs.Export.json
 
 val json_summary :
   ?pipeline:Pipeline.t ->

@@ -27,6 +27,7 @@ type kind =
       ctx : string;
     }
   | Verdict of { kind : string; issue : int option; detail : string }
+  | Fault of { kind : string; detail : string }
   | Note of { name : string; detail : string }
 
 type t = { seq : int; vclock : int; wall_us : int; tid : int; kind : kind }
@@ -43,6 +44,7 @@ let kind_label = function
   | Syscall_exit _ -> "syscall-exit"
   | Access _ -> "access"
   | Verdict _ -> "verdict"
+  | Fault _ -> "fault"
   | Note _ -> "note"
 
 let default_capacity = 65_536

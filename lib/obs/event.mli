@@ -41,6 +41,9 @@ type kind =
     }
   | Verdict of { kind : string; issue : int option; detail : string }
       (** an oracle/detector finding, e.g. kind "data_race" issue 13 *)
+  | Fault of { kind : string; detail : string }
+      (** a supervision/fault-injection event: kind is "crash",
+          "truncate", "watchdog", "retry" or "quarantine" *)
   | Note of { name : string; detail : string }
 
 type t = {

@@ -33,6 +33,7 @@ let event_name ev =
   | E.Access { write; addr; ctx; _ } ->
       Printf.sprintf "%s 0x%x %s" (if write then "W" else "R") addr ctx
   | E.Verdict { kind; _ } -> "verdict: " ^ kind
+  | E.Fault { kind; _ } -> "fault: " ^ kind
   | E.Note { name; _ } -> name
 
 (* Phase: B/E spans for syscalls and the trial, instants for the rest. *)
@@ -70,6 +71,8 @@ let event_args ev =
         ("issue", opt_issue issue);
         ("detail", J.String detail);
       ]
+  | E.Fault { kind; detail } ->
+      [ ("kind", J.String kind); ("detail", J.String detail) ]
   | E.Note { name; detail } ->
       [ ("name", J.String name); ("detail", J.String detail) ]
 
@@ -167,6 +170,7 @@ let full_line ev =
            | Some i -> Printf.sprintf " (issue #%d)" i
            | None -> "")
            detail)
+  | E.Fault { kind; detail } -> Some (Printf.sprintf "!! FAULT %s: %s !!" kind detail)
   | E.Note { name; detail } -> Some (Printf.sprintf "%s: %s" name detail)
   | _ -> None
 

@@ -29,6 +29,8 @@ let m_conc_runs = Obs.Metrics.counter "snowboard.sched/conc_runs"
 let m_preemptions = Obs.Metrics.counter "snowboard.sched/preemptions_injected"
 let m_schedule_points = Obs.Metrics.counter "snowboard.sched/schedule_points"
 let m_deadlocks = Obs.Metrics.counter "snowboard.sched/deadlocks"
+let m_watchdogs = Obs.Metrics.counter "snowboard.sched/watchdog_timeouts"
+let m_faults = Obs.Metrics.counter "snowboard.sched/faults_injected"
 
 let h_seq_steps =
   Obs.Metrics.histogram ~unit_:"instr" "snowboard.vmm/seq_run_steps"
@@ -264,13 +266,29 @@ type thread_run = {
 let conc_budget = 400_000
 let pause_limit = 4_096
 
+(* An injected [Fault.Timeout] models a livelocked trial: the effective
+   watchdog is clamped to this horizon so the trial reliably exceeds it,
+   even when the caller configured no step budget of its own. *)
+let injected_timeout_horizon = 192
+
 (* Generalised executor: interleave [progs.(i)] on vCPU i (the paper uses
    two threads; the section 6 extension uses three).  Exactly one vCPU
    runs at a time; on a switch request the executor rotates round-robin
    to the next runnable thread. *)
 let run_multi env ~(progs : Fuzzer.Prog.t array) ~(policy : policy)
-    ?(observer = default_observer) () =
+    ?(observer = default_observer) ?watchdog ?(fault = Fault.No_fault) () =
   let n = Array.length progs in
+  (* an injected timeout becomes an (aggressively clamped) watchdog, so
+     the supervision path is exercised exactly as a runaway trial would *)
+  let watchdog =
+    match fault with
+    | Fault.Timeout ->
+        Some
+          (match watchdog with
+          | Some w -> min w injected_timeout_horizon
+          | None -> injected_timeout_horizon)
+    | _ -> watchdog
+  in
   if n < 1 || n > Vmm.Layout.max_threads then
     invalid_arg "exec: unsupported thread count";
   (* virtual clock for the flight recorder: guest instructions retired,
@@ -328,12 +346,44 @@ let run_multi env ~(progs : Fuzzer.Prog.t array) ~(policy : policy)
   if ev_on () then
     emit Obs.Event.sched_tid
       (Obs.Event.Trial_begin { threads = n; first = !current });
+  let fault_fire kind detail =
+    Obs.Metrics.incr m_faults;
+    if ev_on () then
+      emit Obs.Event.sched_tid (Obs.Event.Fault { kind; detail })
+  in
+  (* these raises deliberately escape the [with Exit] below: a fault or
+     watchdog abort is the supervisor's problem, not a trial verdict *)
+  let check_abort () =
+    (match fault with
+    | Fault.Crash at when !steps >= at ->
+        let msg = Printf.sprintf "injected at step %d" !steps in
+        fault_fire "crash" msg;
+        raise (Fault.Injected_crash msg)
+    | Fault.Truncate at when !steps >= at ->
+        let msg = Printf.sprintf "injected at step %d" !steps in
+        fault_fire "truncate" msg;
+        raise (Fault.Trace_truncated msg)
+    | _ -> ());
+    match watchdog with
+    | Some w when !steps >= w ->
+        Obs.Metrics.incr m_watchdogs;
+        if ev_on () then
+          emit Obs.Event.sched_tid
+            (Obs.Event.Fault
+               {
+                 kind = "watchdog";
+                 detail = Printf.sprintf "step budget %d exhausted" w;
+               });
+        raise (Fault.Watchdog_timeout !steps)
+    | _ -> ()
+  in
   (try
      while true do
        if !steps > conc_budget then begin
          deadlocked := true;
          raise Exit
        end;
+       check_abort ();
        (* pick a runnable thread, preferring the current one *)
        if not (runnable !current) then begin
          match next_runnable !current with
@@ -466,5 +516,6 @@ let run_multi env ~(progs : Fuzzer.Prog.t array) ~(policy : policy)
   }
 
 let run_conc env ~(writer : Fuzzer.Prog.t) ~(reader : Fuzzer.Prog.t)
-    ~(policy : policy) ?(observer = default_observer) () =
-  run_multi env ~progs:[| writer; reader |] ~policy ~observer ()
+    ~(policy : policy) ?(observer = default_observer) ?watchdog
+    ?(fault = Fault.No_fault) () =
+  run_multi env ~progs:[| writer; reader |] ~policy ~observer ?watchdog ~fault ()

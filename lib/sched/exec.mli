@@ -78,18 +78,33 @@ type conc_result = {
 val conc_budget : int
 (** Global instruction budget for one concurrent trial. *)
 
+val injected_timeout_horizon : int
+(** The effective step budget an injected {!Fault.Timeout} clamps the
+    watchdog to, so the trial reliably "livelocks" even without a
+    configured budget. *)
+
 val run_multi :
   env ->
   progs:Fuzzer.Prog.t array ->
   policy:policy ->
   ?observer:observer ->
+  ?watchdog:int ->
+  ?fault:Fault.verdict ->
   unit ->
   conc_result
 (** Restore the snapshot and interleave one program per vCPU (up to
     [Vmm.Layout.max_threads]; the paper uses two, the section 6 extension
     three).  On a switch request the executor rotates round-robin to the
     next runnable thread.  A spinning thread (Pause) is forcibly
-    descheduled (the is_live heuristic); a panic ends the trial. *)
+    descheduled (the is_live heuristic); a panic ends the trial.
+
+    [watchdog] is a per-trial step budget: exceeding it raises
+    {!Fault.Watchdog_timeout} (unlike [conc_budget], which merely flags
+    the trial as deadlocked).  [fault] (default [Fault.No_fault]) applies
+    one drawn fault verdict: [Crash]/[Truncate] raise the matching
+    exception at the drawn step, [Timeout] clamps the watchdog to
+    {!injected_timeout_horizon}.  These exceptions escape to the caller;
+    {!Snowboard_harness.Supervise} is the intended handler. *)
 
 val run_conc :
   env ->
@@ -97,6 +112,8 @@ val run_conc :
   reader:Fuzzer.Prog.t ->
   policy:policy ->
   ?observer:observer ->
+  ?watchdog:int ->
+  ?fault:Fault.verdict ->
   unit ->
   conc_result
 (** [run_multi] specialised to the paper's two-thread setting: the

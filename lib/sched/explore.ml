@@ -76,7 +76,8 @@ let default_trials = 64
 let run (env : Exec.env) ~(ident : Core.Identify.t option)
     ~(writer : Fuzzer.Prog.t) ~(reader : Fuzzer.Prog.t)
     ~(hint : Core.Pmc.t option) ~(kind : kind) ?(trials = default_trials)
-    ~(seed : int) ?(stop_on_bug = true) ?(target_issue = None) () =
+    ~(seed : int) ?(stop_on_bug = true) ?(target_issue = None) ?watchdog
+    ?fault ?(attempt = 0) () =
   let st = Policies.snowboard_state hint in
   let trial_results = ref [] in
   let first_bug = ref None in
@@ -108,9 +109,14 @@ let run (env : Exec.env) ~(ident : Core.Identify.t option)
                Exec.default_observer.Exec.on_access a ~ctx);
          }
        in
+       let verdict =
+         match fault with
+         | None -> Fault.No_fault
+         | Some (plan, test) -> Fault.draw plan ~test ~trial ~attempt
+       in
        let res =
          Exec.run_conc env ~writer ~reader ~policy:recorder.Replay.policy
-           ~observer ()
+           ~observer ?watchdog ~fault:verdict ()
        in
        let findings =
          Detectors.Oracle.analyze ~console:res.Exec.cc_console

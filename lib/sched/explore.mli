@@ -52,10 +52,21 @@ val run :
   seed:int ->
   ?stop_on_bug:bool ->
   ?target_issue:int option ->
+  ?watchdog:int ->
+  ?fault:Fault.plan * int ->
+  ?attempt:int ->
   unit ->
   result
 (** Explore up to [trials] interleavings.  With [stop_on_bug], stop at
-    the first finding (or at the first [target_issue] hit if given). *)
+    the first finding (or at the first [target_issue] hit if given).
+
+    [watchdog] caps every trial at that many guest steps, raising
+    {!Fault.Watchdog_timeout} past it.  [fault] is a seeded fault plan
+    plus this test's global 1-based index; each trial then draws
+    [Fault.draw plan ~test ~trial ~attempt] and applies the verdict
+    ({!Exec.run_multi}).  [attempt] (default 0) is the supervised retry
+    attempt, so re-runs of a faulted test draw fresh verdicts.  Fault
+    and watchdog exceptions escape to the caller mid-exploration. *)
 
 val issues_found : result -> int list
 

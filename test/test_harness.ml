@@ -99,6 +99,7 @@ let test_issues_union () =
       total_trials = 0;
       total_steps = 0;
       bugs = [];
+      outcomes = Harness.Pipeline.zero_outcomes;
     }
   in
   checkb "union sorted and deduped" true
