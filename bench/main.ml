@@ -790,6 +790,139 @@ let resilience () =
   | _ -> pf "wrote %s but it does not parse back as a JSON object@." path
 
 (* ------------------------------------------------------------------ *)
+(* E13: dirty-page snapshots and the multicore prepare phase           *)
+
+let bench_jobs = ref 4
+let bench_deterministic = ref false
+
+(* Quantifies the two prepare-phase optimisations: page-granular dirty
+   tracking (restore copies the pages a short test touched, not the whole
+   ~1.3 MB guest image) and domain-parallel corpus profiling.  In
+   --deterministic mode the wall-clock fields are omitted so the artifact
+   is a pure function of the seed and diffs cleanly across commits. *)
+let prepare_bench () =
+  section "E13: dirty-page snapshots + multicore prepare (BENCH_prepare.json)";
+  let jobs = max 1 !bench_jobs in
+  let det = !bench_deterministic in
+  let cfg =
+    {
+      (campaign_cfg Kernel.Config.v5_12_rc3) with
+      Harness.Pipeline.fuzz_iters = 600;
+      jobs;
+    }
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  (* one corpus, built up front, so every measurement profiles the exact
+     same work *)
+  let env = Sched.Exec.make_env cfg.Harness.Pipeline.kernel in
+  let corpus, _ =
+    Harness.Pipeline.fuzz ~seeds:cfg.Harness.Pipeline.seed_corpus env
+      ~seed:cfg.Harness.Pipeline.seed ~iters:cfg.Harness.Pipeline.fuzz_iters
+  in
+  pf "corpus: %d tests; %d pages of %d bytes per VM@."
+    (Fuzzer.Corpus.size corpus) Vmm.Vm.num_pages Vmm.Vm.page_size;
+  (* 1. restore cost: profile the corpus with dirty tracking off (every
+     restore blits the full guest image) and on (only touched pages) *)
+  let c_restored = Obs.Metrics.counter "snowboard.vmm/pages_restored" in
+  let c_total = Obs.Metrics.counter "snowboard.vmm/pages_total" in
+  let profile_with tracking =
+    Vmm.Vm.set_dirty_tracking env.Sched.Exec.vm tracking;
+    let r0 = Obs.Metrics.counter_value c_restored in
+    let t0 = Obs.Metrics.counter_value c_total in
+    let (_, steps), dt =
+      time (fun () -> Harness.Pipeline.profile_corpus env corpus)
+    in
+    ignore steps;
+    ( dt,
+      Obs.Metrics.counter_value c_restored - r0,
+      Obs.Metrics.counter_value c_total - t0 )
+  in
+  (* warm-up pass so both timed passes start from identical cache state *)
+  ignore (Harness.Pipeline.profile_corpus env corpus);
+  let dt_full, full_restored, full_total = profile_with false in
+  let dt_dirty, dirty_restored, dirty_total = profile_with true in
+  Vmm.Vm.set_dirty_tracking env.Sched.Exec.vm true;
+  pf "restore cost over the corpus:@.";
+  pf "  full-blit restores:   %7d/%d pages copied, %.3fs@." full_restored
+    full_total dt_full;
+  pf "  dirty-page restores:  %7d/%d pages copied, %.3fs (%.1fx fewer pages, %.2fx faster)@."
+    dirty_restored dirty_total dt_dirty
+    (float_of_int full_restored /. float_of_int (max 1 dirty_restored))
+    (dt_full /. max 1e-9 dt_dirty);
+  (* 2. profiling wall-clock, sequential vs [jobs] worker domains; the
+     merged profile lists must be identical (corpus-id merge order) *)
+  let (seq_profiles, _), dt_seq =
+    time (fun () -> Harness.Pipeline.profile_corpus env corpus)
+  in
+  let (par_profiles, _), dt_par =
+    time (fun () ->
+        Harness.Pipeline.profile_corpus_parallel ~jobs
+          ~kernel:cfg.Harness.Pipeline.kernel corpus)
+  in
+  let identical = seq_profiles = par_profiles in
+  pf "profiling: sequential %.3fs, %d jobs %.3fs (%.2fx); identical profiles: %b@."
+    dt_seq jobs dt_par (dt_seq /. max 1e-9 dt_par) identical;
+  (* 3. end-to-end prepare (fuzz + profile + identify), jobs=1 vs jobs=N *)
+  let _, dt_prep_seq =
+    time (fun () ->
+        Harness.Pipeline.prepare { cfg with Harness.Pipeline.jobs = 1 })
+  in
+  let _, dt_prep_par =
+    time (fun () -> Harness.Pipeline.prepare cfg)
+  in
+  pf "end-to-end prepare: jobs=1 %.3fs, jobs=%d %.3fs (%.2fx)@." dt_prep_seq
+    jobs dt_prep_par
+    (dt_prep_seq /. max 1e-9 dt_prep_par);
+  let open Obs.Export in
+  let json =
+    Obj
+      ([
+         ("experiment", String "prepare");
+         ("jobs", Int jobs);
+         ("deterministic", Bool det);
+         ("corpus_tests", Int (Fuzzer.Corpus.size corpus));
+         ("page_size", Int Vmm.Vm.page_size);
+         ("pages_per_vm", Int Vmm.Vm.num_pages);
+         ("pages_restored_full", Int full_restored);
+         ("pages_restored_dirty", Int dirty_restored);
+         ("pages_total", Int dirty_total);
+         ( "page_copy_ratio",
+           Float
+             (float_of_int dirty_restored /. float_of_int (max 1 full_restored))
+         );
+         ("parallel_profiles_identical", Bool identical);
+       ]
+      @
+      if det then []
+      else
+        [
+          ("profile_full_restore_s", Float dt_full);
+          ("profile_dirty_restore_s", Float dt_dirty);
+          ("profile_seq_s", Float dt_seq);
+          ("profile_par_s", Float dt_par);
+          ("profile_speedup", Float (dt_seq /. max 1e-9 dt_par));
+          ("prepare_seq_s", Float dt_prep_seq);
+          ("prepare_par_s", Float dt_prep_par);
+          ("prepare_speedup", Float (dt_prep_seq /. max 1e-9 dt_prep_par));
+        ])
+  in
+  let path = "BENCH_prepare.json" in
+  write_file path json;
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let body = really_input_string ic n in
+  close_in ic;
+  match of_string_opt body with
+  | Some (Obj fields) ->
+      pf "wrote %s (%d bytes, %d fields, parses back OK)@." path n
+        (List.length fields)
+  | _ -> pf "wrote %s but it does not parse back as a JSON object@." path
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -806,13 +939,30 @@ let experiments =
     ("artifact", artifact);
     ("tracing", tracing);
     ("resilience", resilience);
+    ("prepare", prepare_bench);
   ]
 
 let () =
+  (* experiment names plus two bench-wide flags: --jobs N (or --jobs=N)
+     for the prepare experiment's worker-domain count, --deterministic to
+     omit wall-clock fields from artifacts *)
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--deterministic" :: rest ->
+        bench_deterministic := true;
+        parse acc rest
+    | "--jobs" :: n :: rest ->
+        bench_jobs := int_of_string n;
+        parse acc rest
+    | s :: rest when String.length s > 7 && String.sub s 0 7 = "--jobs=" ->
+        bench_jobs := int_of_string (String.sub s 7 (String.length s - 7));
+        parse acc rest
+    | s :: rest -> parse (s :: acc) rest
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst experiments
+    match parse [] (List.tl (Array.to_list Sys.argv)) with
+    | [] -> List.map fst experiments
+    | names -> names
   in
   List.iter
     (fun name ->

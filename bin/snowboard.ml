@@ -230,6 +230,15 @@ let domains_arg =
            distributed-queue analogue); results are identical to a \
            sequential run.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the prepare phase's corpus profiling; the \
+           merged profiles (and everything downstream) are identical to a \
+           sequential run.")
+
 let log_verbose =
   Arg.(value & flag & info [ "log" ] ~doc:"Log pipeline phases to stderr.")
 
@@ -316,8 +325,8 @@ let summary_out_arg =
 
 exception Interrupted
 
-let run_campaign kernel seed iters trials budget methods seeded domains log
-    verbose corpus_file fault_spec watchdog max_retries checkpoint resume
+let run_campaign kernel seed iters trials budget methods seeded domains jobs
+    log verbose corpus_file fault_spec watchdog max_retries checkpoint resume
     stop_after summary_out (_ : obs) =
   setup_logs ~debug:verbose ~info:log ();
   if resume && checkpoint = None then
@@ -345,6 +354,7 @@ let run_campaign kernel seed iters trials budget methods seeded domains log
       fuzz_iters = iters;
       trials_per_test = trials;
       seed_corpus = seeds;
+      jobs = max 1 jobs;
     }
   in
   let t = Harness.Pipeline.prepare cfg in
@@ -454,7 +464,8 @@ let campaign_cmd =
          ])
     Term.(
       const run_campaign $ version $ seed $ fuzz_iters $ trials $ budget
-      $ methods $ seed_corpus_flag $ domains_arg $ log_verbose $ verbose_log
+      $ methods $ seed_corpus_flag $ domains_arg $ jobs_arg $ log_verbose
+      $ verbose_log
       $ corpus_in $ inject_faults_arg $ watchdog_arg $ max_retries_arg
       $ checkpoint_arg $ resume_arg $ stop_after_arg $ summary_out_arg
       $ obs_term)

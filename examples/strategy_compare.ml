@@ -14,6 +14,7 @@ let () =
       fuzz_iters = 400;
       trials_per_test = 12;
       seed_corpus = Harness.Pipeline.scenario_seeds ();
+      jobs = 1;
     }
   in
   pf "preparing: fuzz %d iterations, profile, identify...@." cfg.Harness.Pipeline.fuzz_iters;

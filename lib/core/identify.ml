@@ -26,6 +26,8 @@ type entry = {
 
 type info = {
   mutable pairs : (int * int) list;  (* (writer test, reader test) *)
+  mutable stored : int;  (* List.length pairs, tracked to keep the
+                            bounded-insert check O(1) in the sweep *)
   mutable npairs : int;  (* total potential pairs, not just stored ones *)
 }
 
@@ -96,7 +98,7 @@ let run (profiles : Profile.t list) =
             match Hashtbl.find_opt table pmc with
             | Some info -> info
             | None ->
-                let info = { pairs = []; npairs = 0 } in
+                let info = { pairs = []; stored = 0; npairs = 0 } in
                 Hashtbl.replace table pmc info;
                 (match Hashtbl.find_opt write_index ws.Pmc.ins with
                 | Some l -> l := pmc :: !l
@@ -108,8 +110,10 @@ let run (profiles : Profile.t list) =
               List.iter
                 (fun rt ->
                   info.npairs <- info.npairs + 1;
-                  if List.length info.pairs < max_pairs_per_pmc then
-                    info.pairs <- (wt, rt) :: info.pairs)
+                  if info.stored < max_pairs_per_pmc then begin
+                    info.pairs <- (wt, rt) :: info.pairs;
+                    info.stored <- info.stored + 1
+                  end)
                 r.tests)
             w.tests
         end

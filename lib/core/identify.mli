@@ -14,6 +14,8 @@ val max_pairs_per_pmc : int
 
 type info = {
   mutable pairs : (int * int) list;  (** (writer test, reader test) *)
+  mutable stored : int;  (** [List.length pairs], kept so the bounded
+                             insert in the sweep stays O(1) *)
   mutable npairs : int;  (** total potential pairs, not just stored ones *)
 }
 

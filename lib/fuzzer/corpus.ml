@@ -15,20 +15,36 @@ let h_new_edges =
 
 type entry = { id : int; prog : Prog.t; new_edges : int }
 
+(* Entries live in a dynamic array indexed by corpus id (ids are dense:
+   entry [i] has id [i]), which makes [nth]/[find] O(1).  The fuzzing
+   loop samples the corpus every iteration and the campaign resolves
+   every planned test's programs by id, so both were hot spots as
+   list scans. *)
 type t = {
-  mutable entries : entry list;  (* reversed *)
+  mutable arr : entry array;  (* first [count] slots are live *)
   mutable count : int;
   seen_progs : (int, unit) Hashtbl.t;
   seen_edges : (int * int, unit) Hashtbl.t;
 }
 
+let dummy_entry = { id = -1; prog = []; new_edges = 0 }
+
 let create () =
   {
-    entries = [];
+    arr = Array.make 16 dummy_entry;
     count = 0;
     seen_progs = Hashtbl.create 256;
     seen_edges = Hashtbl.create 4096;
   }
+
+let push t e =
+  if t.count = Array.length t.arr then begin
+    let bigger = Array.make (2 * t.count) dummy_entry in
+    Array.blit t.arr 0 bigger 0 t.count;
+    t.arr <- bigger
+  end;
+  t.arr.(t.count) <- e;
+  t.count <- t.count + 1
 
 (* Offer a program together with the control-flow edges its sequential
    execution covered.  Returns the corpus id if kept. *)
@@ -48,8 +64,7 @@ let consider t prog ~edges =
     else begin
       List.iter (fun e -> Hashtbl.replace t.seen_edges e ()) fresh;
       let id = t.count in
-      t.count <- t.count + 1;
-      t.entries <- { id; prog; new_edges = List.length fresh } :: t.entries;
+      push t { id; prog; new_edges = List.length fresh };
       Obs.Metrics.incr m_accepted;
       Obs.Metrics.observe h_new_edges (List.length fresh);
       Obs.Metrics.set g_edges (Hashtbl.length t.seen_edges);
@@ -66,9 +81,19 @@ let size t = t.count
 
 let total_edges t = Hashtbl.length t.seen_edges
 
-let to_list t = List.rev t.entries
+let to_list t = Array.to_list (Array.sub t.arr 0 t.count)
 
-let find t id = List.find_opt (fun e -> e.id = id) t.entries
+let nth t i =
+  if i < 0 || i >= t.count then
+    invalid_arg (Printf.sprintf "corpus: nth %d of %d" i t.count)
+  else t.arr.(i)
+
+(* Ids are assigned densely from 0, so the id is the array index. *)
+let find t id = if id >= 0 && id < t.count then Some t.arr.(id) else None
+
+let sample t rng =
+  if t.count = 0 then invalid_arg "corpus: sampling an empty corpus"
+  else t.arr.(Random.State.int rng t.count)
 
 (* One program per line; the coverage metadata is not stored - a loaded
    corpus is re-profiled from the snapshot anyway. *)

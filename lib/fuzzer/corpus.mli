@@ -19,7 +19,18 @@ val total_edges : t -> int
 val to_list : t -> entry list
 (** Entries in insertion (id) order. *)
 
+val nth : t -> int -> entry
+(** O(1) positional access (position = corpus id, ids are dense from 0).
+    Raises [Invalid_argument] when out of range. *)
+
+val sample : t -> Random.State.t -> entry
+(** Uniform O(1) pick, drawing one [Random.State.int] on the corpus
+    size (the same draw the fuzzing loop used to spend on [List.nth]).
+    Raises [Invalid_argument] on an empty corpus. *)
+
 val find : t -> int -> entry option
+(** O(1) lookup by corpus id (the dense id space doubles as the index,
+    so [Parallel]'s program-table lookups stay cheap). *)
 
 val save : t -> string -> unit
 (** Write the corpus programs to a file, one per line. *)

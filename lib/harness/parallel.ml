@@ -65,13 +65,8 @@ let shard_failure tests exn =
       })
     tests
 
-(* Split pre-indexed work round-robin into [n] shards. *)
-let shard n indexed =
-  let shards = Array.make n [] in
-  List.iteri
-    (fun i x -> shards.(i mod n) <- x :: shards.(i mod n))
-    indexed;
-  Array.map List.rev shards
+(* Work distribution is shared with the parallel profile phase. *)
+let shard = Pipeline.shard
 
 let default_domains () = max 1 (min 4 (Domain.recommended_domain_count () - 1))
 

@@ -23,6 +23,10 @@ type config = {
       (* distilled seed programs offered to the corpus before random
          generation starts, in the spirit of Moonshine's seed selection;
          they pass through the same coverage filter as generated tests *)
+  jobs : int;
+      (* worker domains for the prepare phase (corpus profiling); the
+         merged profile list is identical for any value, so this knob
+         only moves wall-clock and stays out of checkpoint fingerprints *)
 }
 
 let default =
@@ -32,6 +36,7 @@ let default =
     fuzz_iters = 400;
     trials_per_test = 16;
     seed_corpus = [];
+    jobs = 1;
   }
 
 (* The per-issue scenario programs double as a distilled seed corpus. *)
@@ -71,8 +76,9 @@ let fuzz ?(seeds = []) env ~seed ~iters =
       if Random.State.int rng 3 = 0 || Fuzzer.Corpus.size corpus = 0 then
         Fuzzer.Gen.generate rng
       else
-        let entries = Fuzzer.Corpus.to_list corpus in
-        let e = List.nth entries (Random.State.int rng (List.length entries)) in
+        (* O(1) uniform pick; consumes the same single RNG draw the old
+           List.nth scan did, so corpora are bit-identical across seeds *)
+        let e = Fuzzer.Corpus.sample corpus rng in
         Fuzzer.Gen.mutate rng e.Fuzzer.Corpus.prog
     in
     let r = Exec.run_seq env ~tid:0 prog in
@@ -89,6 +95,16 @@ let fuzz ?(seeds = []) env ~seed ~iters =
         !steps);
   (corpus, !steps)
 
+(* Split pre-indexed work round-robin into [n] shards.  Shared with
+   [Parallel] (the execute-phase fan-out) so both phases distribute work
+   with the same discipline. *)
+let shard n indexed =
+  let shards = Array.make n [] in
+  List.iteri
+    (fun i x -> shards.(i mod n) <- x :: shards.(i mod n))
+    indexed;
+  Array.map List.rev shards
+
 (* Phase 2: profile every corpus test from the boot snapshot. *)
 let profile_corpus env corpus =
   let steps = ref 0 in
@@ -102,6 +118,38 @@ let profile_corpus env corpus =
   in
   (profiles, !steps)
 
+(* Phase 2 over [jobs] worker domains: the corpus is sharded round-robin,
+   each worker profiles its shard in a private VM built from the same
+   kernel configuration (identical boot snapshots), and the per-test
+   profiles are merged back in corpus-id order.  Sequential profiling is
+   a pure function of (kernel, program), so the merged list - and
+   everything downstream, [Identify.run] first - is byte-identical to
+   the [jobs = 1] run. *)
+let profile_corpus_parallel ~jobs ~kernel corpus =
+  let entries = Fuzzer.Corpus.to_list corpus in
+  let shards = shard jobs entries in
+  let workers =
+    Array.map
+      (fun sh ->
+        Domain.spawn (fun () ->
+            let env = Exec.make_env kernel in
+            List.map
+              (fun (e : Fuzzer.Corpus.entry) ->
+                let r = Exec.run_seq env ~tid:0 e.prog in
+                ( e.id,
+                  Core.Profile.of_accesses ~test_id:e.id r.Exec.sq_accesses,
+                  r.Exec.sq_steps ))
+              sh))
+      shards
+  in
+  let merged =
+    Array.to_list workers
+    |> List.concat_map Domain.join
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  in
+  ( List.map (fun (_, p, _) -> p) merged,
+    List.fold_left (fun acc (_, _, s) -> acc + s) 0 merged )
+
 (* The Figure 2 input-side phases, each under its own span so exported
    artifacts attribute guest instructions and corpus growth per phase. *)
 let prepare cfg =
@@ -114,7 +162,10 @@ let prepare cfg =
             fuzz ~seeds:cfg.seed_corpus env ~seed:cfg.seed ~iters:cfg.fuzz_iters)
       in
       let profiles, profile_steps =
-        Obs.Span.with_span "profile" (fun () -> profile_corpus env corpus)
+        Obs.Span.with_span "profile" (fun () ->
+            if cfg.jobs > 1 then
+              profile_corpus_parallel ~jobs:cfg.jobs ~kernel:cfg.kernel corpus
+            else profile_corpus env corpus)
       in
       let ident =
         Obs.Span.with_span "identify" (fun () -> Core.Identify.run profiles)

@@ -9,6 +9,11 @@ type config = {
   seed_corpus : Fuzzer.Prog.t list;
       (** distilled seed programs offered before random generation, in
           the spirit of Moonshine's seed selection *)
+  jobs : int;
+      (** worker domains for the prepare phase's profiling step; any
+          value yields the same merged profile list (profiles are merged
+          in corpus-id order), so [jobs] does not shape the plan and
+          stays out of checkpoint fingerprints *)
 }
 
 val default : config
@@ -38,6 +43,19 @@ val fuzz :
 val profile_corpus :
   Sched.Exec.env -> Fuzzer.Corpus.t -> Core.Profile.t list * int
 (** Phase 2: profile every corpus test from the boot snapshot. *)
+
+val profile_corpus_parallel :
+  jobs:int ->
+  kernel:Kernel.Config.t ->
+  Fuzzer.Corpus.t ->
+  Core.Profile.t list * int
+(** Phase 2 over [jobs] worker domains, each with a private VM built
+    from [kernel]; per-test profiles are merged in corpus-id order, so
+    the result is identical to {!profile_corpus} for any [jobs]. *)
+
+val shard : int -> 'a list -> 'a list array
+(** Split work round-robin into [n] shards — the common distribution
+    discipline of the parallel profile and execute phases. *)
 
 val prepare : config -> t
 (** Run the input-side phases: fuzz, profile, identify. *)

@@ -21,6 +21,9 @@ let m_accesses = Obs.Metrics.counter "snowboard.vmm/accesses_traced"
 let m_snapshot_saves = Obs.Metrics.counter "snowboard.vmm/snapshot_saves"
 let m_snapshot_restores = Obs.Metrics.counter "snowboard.vmm/snapshot_restores"
 
+let m_pages_restored = Obs.Metrics.counter "snowboard.vmm/pages_restored"
+let m_pages_total = Obs.Metrics.counter "snowboard.vmm/pages_total"
+
 type mode = Kernel | User | Dead
 
 type cpu = { regs : int array; mutable pc : int; mutable mode : mode }
@@ -38,6 +41,31 @@ type event =
   | Ecall of int  (* entered the function at this program address *)
   | Ereturn  (* returned from the current function *)
 
+(* Dirty-page tracking: guest memory is partitioned into fixed-size
+   pages (kernel pages first, then each thread's user segment), writes
+   mark their page, and [restore] copies back only the dirty pages when
+   the VM is still delta-tracked against the snapshot being restored.
+   Any other (snapshot, VM) pairing falls back to a full blit.  Page
+   granularity trades marking cost against copy savings: a short test
+   touches a handful of globals, one kernel stack and a user buffer -
+   a few pages out of hundreds. *)
+
+let page_bits = 12
+let page_size = 1 lsl page_bits
+let kpages = Layout.kmem_size lsr page_bits
+let upages = Layout.user_size lsr page_bits
+let num_pages = kpages + (Layout.max_threads * upages)
+
+(* Snapshot identities: a restore may only take the dirty-page shortcut
+   against the exact snapshot the VM last synchronized with. *)
+let snap_ids = Atomic.make 0
+
+(* Default for freshly created VMs; flipped off by benchmarks that need
+   the pre-dirty-tracking full-blit behaviour as a baseline. *)
+let tracking_default = Atomic.make true
+
+let set_default_dirty_tracking b = Atomic.set tracking_default b
+
 type t = {
   image : Asm.image;
   kmem : Bytes.t;
@@ -50,6 +78,11 @@ type t = {
   mutable accesses : int;  (* traced accesses since creation *)
   mutable steps_flushed : int;  (* already forwarded to the registry *)
   mutable accesses_flushed : int;
+  mutable tracking : bool;  (* dirty-page tracking enabled *)
+  mutable last_snap : int;  (* snap id the memory is delta-tracked against *)
+  dirty : Bytes.t;  (* one flag byte per page *)
+  dirty_pages : int array;  (* the marked page indices, first [n_dirty] *)
+  mutable n_dirty : int;
 }
 
 exception Fault of int
@@ -75,7 +108,50 @@ let create image =
     accesses = 0;
     steps_flushed = 0;
     accesses_flushed = 0;
+    tracking = Atomic.get tracking_default;
+    last_snap = -1;
+    dirty = Bytes.make num_pages '\000';
+    dirty_pages = Array.make num_pages 0;
+    n_dirty = 0;
   }
+
+let clear_dirty t =
+  for i = 0 to t.n_dirty - 1 do
+    Bytes.unsafe_set t.dirty t.dirty_pages.(i) '\000'
+  done;
+  t.n_dirty <- 0
+
+(* Turning tracking on or off invalidates the delta: the next restore
+   does a full blit and re-arms (or stays full-copy forever). *)
+let set_dirty_tracking t b =
+  t.tracking <- b;
+  t.last_snap <- -1;
+  clear_dirty t
+
+let dirty_page_count t = t.n_dirty
+
+let mark_page t p =
+  if Bytes.unsafe_get t.dirty p = '\000' then begin
+    Bytes.unsafe_set t.dirty p '\001';
+    t.dirty_pages.(t.n_dirty) <- p;
+    t.n_dirty <- t.n_dirty + 1
+  end
+
+(* Called after [translate] succeeded, so [addr .. addr+size-1] is a
+   valid kernel or user range.  A write can straddle two pages. *)
+let mark_write t tid addr size =
+  if t.tracking then begin
+    let first, last =
+      if Layout.is_kernel addr then
+        (addr lsr page_bits, (addr + size - 1) lsr page_bits)
+      else
+        let off = addr - Layout.user_base in
+        let base = kpages + (tid * upages) in
+        (base + (off lsr page_bits), base + ((off + size - 1) lsr page_bits))
+    in
+    mark_page t first;
+    if last <> first then mark_page t last
+  end
 
 (* Forward the per-machine deltas to the process-wide registry; called at
    run boundaries only. *)
@@ -89,6 +165,7 @@ let flush_stats t =
    vCPU registers and modes, console and panic flag.  Coverage and the
    step counter are host-side statistics and survive restores. *)
 type snap = {
+  s_id : int;  (* identity for the dirty-page restore shortcut *)
   s_kmem : Bytes.t;
   s_umem : Bytes.t array;
   s_cpus : (int array * int * mode) array;
@@ -100,20 +177,36 @@ let snapshot t =
   flush_stats t;
   Obs.Metrics.incr m_snapshot_saves;
   Log.debug (fun m -> m "snapshot taken at %d steps" t.steps);
-  {
-    s_kmem = Bytes.copy t.kmem;
-    s_umem = Array.map Bytes.copy t.umem;
-    s_cpus =
-      Array.map (fun c -> (Array.copy c.regs, c.pc, c.mode)) t.cpus;
-    s_console = t.console;
-    s_panicked = t.panicked;
-  }
+  let s =
+    {
+      s_id = Atomic.fetch_and_add snap_ids 1;
+      s_kmem = Bytes.copy t.kmem;
+      s_umem = Array.map Bytes.copy t.umem;
+      s_cpus =
+        Array.map (fun c -> (Array.copy c.regs, c.pc, c.mode)) t.cpus;
+      s_console = t.console;
+      s_panicked = t.panicked;
+    }
+  in
+  (* the VM now equals the snapshot exactly: future writes delta-track
+     against it, so the next restore can copy dirty pages only *)
+  clear_dirty t;
+  t.last_snap <- (if t.tracking then s.s_id else -1);
+  s
 
-let restore t s =
-  flush_stats t;
-  Obs.Metrics.incr m_snapshot_restores;
-  Bytes.blit s.s_kmem 0 t.kmem 0 Layout.kmem_size;
-  Array.iteri (fun i u -> Bytes.blit u 0 t.umem.(i) 0 Layout.user_size) s.s_umem;
+(* Copy one page (by global page index) from the snapshot's buffers. *)
+let restore_page t s p =
+  if p < kpages then
+    let off = p lsl page_bits in
+    Bytes.blit s.s_kmem off t.kmem off page_size
+  else begin
+    let q = p - kpages in
+    let tid = q / upages in
+    let off = (q mod upages) lsl page_bits in
+    Bytes.blit s.s_umem.(tid) off t.umem.(tid) off page_size
+  end
+
+let restore_cpus_and_flags t s =
   Array.iteri
     (fun i (regs, pc, mode) ->
       Array.blit regs 0 t.cpus.(i).regs 0 Isa.num_regs;
@@ -122,6 +215,43 @@ let restore t s =
     s.s_cpus;
   t.console <- s.s_console;
   t.panicked <- s.s_panicked
+
+let full_blit t s =
+  Bytes.blit s.s_kmem 0 t.kmem 0 Layout.kmem_size;
+  Array.iteri (fun i u -> Bytes.blit u 0 t.umem.(i) 0 Layout.user_size) s.s_umem;
+  clear_dirty t;
+  t.last_snap <- (if t.tracking then s.s_id else -1)
+
+let restore t s =
+  flush_stats t;
+  Obs.Metrics.incr m_snapshot_restores;
+  Obs.Metrics.add m_pages_total num_pages;
+  if t.tracking && t.last_snap = s.s_id then begin
+    (* every non-dirty page is still byte-identical to the snapshot *)
+    Obs.Metrics.add m_pages_restored t.n_dirty;
+    for i = 0 to t.n_dirty - 1 do
+      let p = t.dirty_pages.(i) in
+      restore_page t s p;
+      Bytes.unsafe_set t.dirty p '\000'
+    done;
+    t.n_dirty <- 0
+  end
+  else begin
+    Obs.Metrics.add m_pages_restored num_pages;
+    full_blit t s
+  end;
+  restore_cpus_and_flags t s
+
+(* The pre-dirty-tracking behaviour: unconditionally blit everything.
+   Kept as the benchmark baseline and the test oracle for the
+   observational-equivalence property. *)
+let restore_full t s =
+  flush_stats t;
+  Obs.Metrics.incr m_snapshot_restores;
+  Obs.Metrics.add m_pages_total num_pages;
+  Obs.Metrics.add m_pages_restored num_pages;
+  full_blit t s;
+  restore_cpus_and_flags t s
 
 let size_mask = function
   | 1 -> 0xff
@@ -165,6 +295,7 @@ let mem_read t tid addr size =
 
 let mem_write t tid addr size v =
   let buf, off = translate t tid addr size in
+  mark_write t tid addr size;
   raw_write buf off size (v land size_mask size)
 
 (* Host-side helpers for the executor: peek/poke guest memory without
@@ -184,6 +315,23 @@ let coverage_edges t =
 let reset_coverage t = Hashtbl.reset t.coverage
 
 let steps t = t.steps
+
+(* A digest of all guest-visible state (the exact set a snapshot copies),
+   used by tests to prove dirty-page restores observationally identical
+   to full-copy restores. *)
+let fingerprint t =
+  let mode_tag = function Kernel -> 0 | User -> 1 | Dead -> 2 in
+  let buf = Buffer.create (Layout.kmem_size + 1024) in
+  Buffer.add_bytes buf t.kmem;
+  Array.iter (Buffer.add_bytes buf) t.umem;
+  Array.iter
+    (fun c ->
+      Array.iter (fun r -> Buffer.add_string buf (string_of_int r)) c.regs;
+      Buffer.add_string buf (Printf.sprintf "|%d|%d;" c.pc (mode_tag c.mode)))
+    t.cpus;
+  List.iter (fun l -> Buffer.add_string buf l) t.console;
+  Buffer.add_string buf (if t.panicked then "P" else "-");
+  Digest.to_hex (Digest.bytes (Buffer.to_bytes buf))
 
 (* Substitute up to three %d placeholders with the low argument regs. *)
 let format_msg fmt args =

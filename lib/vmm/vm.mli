@@ -31,7 +31,41 @@ val create : Asm.image -> t
 val snapshot : t -> snap
 
 val restore : t -> snap -> unit
-(** Restoring does not clear host-side statistics (coverage, step count). *)
+(** Restoring does not clear host-side statistics (coverage, step count).
+
+    Guest memory is dirty-page tracked: when the VM is still
+    delta-tracked against [snap] (i.e. [snap] was the last snapshot
+    taken or restored on this VM), only the pages written since are
+    copied back; any other pairing falls back to a full blit.  The
+    [snowboard.vmm/pages_restored] / [pages_total] counters record the
+    saving. *)
+
+val restore_full : t -> snap -> unit
+(** Unconditional full-copy restore (the pre-dirty-tracking behaviour);
+    the benchmark baseline and the test oracle for restore
+    equivalence. *)
+
+val page_size : int
+(** Dirty-tracking page granularity in bytes. *)
+
+val num_pages : int
+(** Total tracked pages (kernel + all user segments). *)
+
+val dirty_page_count : t -> int
+(** Pages written since the VM last synchronized with a snapshot. *)
+
+val set_dirty_tracking : t -> bool -> unit
+(** Enable/disable dirty-page tracking on this VM (default: the global
+    default).  Either transition invalidates the current delta, so the
+    next [restore] performs a full blit. *)
+
+val set_default_dirty_tracking : bool -> unit
+(** Set the tracking default for subsequently created VMs (benchmarks
+    use this to A/B whole pipeline phases). *)
+
+val fingerprint : t -> string
+(** Hex digest of all guest-visible state (exactly what a snapshot
+    copies): memories, vCPU registers/pc/mode, console, panic flag. *)
 
 val start_call : t -> int -> int -> int list -> unit
 (** [start_call t tid entry args] prepares vCPU [tid] to execute kernel
