@@ -17,6 +17,8 @@
      artifact    - deterministic machine-readable run artifact (BENCH_pipeline.json)
      tracing     - flight-recorder overhead + Chrome trace artifact (BENCH_trace.json)
      resilience  - supervision overhead + fault-injected campaign (BENCH_resilience.json)
+     prepare     - dirty-page snapshots + multicore prepare (BENCH_prepare.json)
+     exec        - interpreter throughput: legacy step vs sink vs block (BENCH_exec.json)
 
    Scaled-down parameters (a few hundred sequential tests rather than
    129,876; minutes rather than machine-weeks) are printed with each
@@ -923,6 +925,223 @@ let prepare_bench () =
   | _ -> pf "wrote %s but it does not parse back as a JSON object@." path
 
 (* ------------------------------------------------------------------ *)
+(* E14: zero-allocation execution core                                 *)
+
+(* Quantifies the execution-core rewrite: the legacy list-returning
+   [Vm.step] loop (kept as the oracle) vs per-instruction sink stepping
+   (no per-step allocation) vs block execution (plain instructions
+   retired in a tight loop).  Also re-proves observational equivalence
+   over the whole corpus and concurrent determinism, so the speedup
+   numbers are only ever reported for a semantics-preserving rewrite. *)
+let exec_bench () =
+  section "E14: zero-allocation execution core (BENCH_exec.json)";
+  let det = !bench_deterministic in
+  let cfg =
+    {
+      (campaign_cfg Kernel.Config.v5_12_rc3) with
+      Harness.Pipeline.fuzz_iters = 400;
+    }
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let env = Sched.Exec.make_env cfg.Harness.Pipeline.kernel in
+  let corpus, _ =
+    Harness.Pipeline.fuzz ~seeds:cfg.Harness.Pipeline.seed_corpus env
+      ~seed:cfg.Harness.Pipeline.seed ~iters:cfg.Harness.Pipeline.fuzz_iters
+  in
+  let progs =
+    List.map (fun e -> e.Fuzzer.Corpus.prog) (Fuzzer.Corpus.to_list corpus)
+  in
+  pf "corpus: %d tests@." (List.length progs);
+  (* 1. observational equivalence: every corpus test through all three
+     sequential paths must produce identical results and identical final
+     VM fingerprints *)
+  let seq_equivalent = ref true in
+  List.iter
+    (fun p ->
+      let r_step = Sched.Exec.run_seq_step env ~tid:0 p in
+      let fp_step = Vmm.Vm.fingerprint env.Sched.Exec.vm in
+      let r_sink = Sched.Exec.run_seq_sink env ~tid:0 p in
+      let fp_sink = Vmm.Vm.fingerprint env.Sched.Exec.vm in
+      let r_block = Sched.Exec.run_seq env ~tid:0 p in
+      let fp_block = Vmm.Vm.fingerprint env.Sched.Exec.vm in
+      if
+        not
+          (r_step = r_sink && r_step = r_block && fp_step = fp_sink
+         && fp_step = fp_block)
+      then seq_equivalent := false)
+    progs;
+  pf "sink/block paths observationally identical to Vm.step over the corpus: %b@."
+    !seq_equivalent;
+  (* ... and the shared-only runner + fast profile builder must match the
+     legacy runner + oracle builder exactly *)
+  let profiles_identical = ref true in
+  List.iteri
+    (fun i p ->
+      let r_legacy = Sched.Exec.run_seq_step env ~tid:0 p in
+      let r_shared = Sched.Exec.run_seq_shared env ~tid:0 p in
+      let filtered =
+        List.filter Vmm.Trace.is_shared r_legacy.Sched.Exec.sq_accesses
+      in
+      let p_legacy =
+        Core.Profile.of_accesses ~test_id:i r_legacy.Sched.Exec.sq_accesses
+      in
+      let p_fast = Core.Profile.of_shared ~test_id:i r_shared.Sched.Exec.sq_accesses in
+      if not (r_shared.Sched.Exec.sq_accesses = filtered && p_legacy = p_fast)
+      then profiles_identical := false)
+    progs;
+  pf "shared runner + fast profile builder match the legacy pair: %b@."
+    !profiles_identical;
+  (* 2. sequential profiling throughput, three interpreter paths over the
+     identical workload.  The corpus is small, so each path runs many
+     repetitions to get the measurement out of timer-noise territory. *)
+  let reps = 30 in
+  let run_corpus f =
+    let steps = ref 0 in
+    for _ = 1 to reps do
+      List.iter
+        (fun p -> steps := !steps + (f env ~tid:0 p).Sched.Exec.sq_steps)
+        progs
+    done;
+    !steps
+  in
+  ignore (run_corpus Sched.Exec.run_seq_step) (* warm-up *);
+  let steps_step, dt_step = time (fun () -> run_corpus Sched.Exec.run_seq_step) in
+  let steps_sink, dt_sink = time (fun () -> run_corpus Sched.Exec.run_seq_sink) in
+  let steps_block, dt_block = time (fun () -> run_corpus Sched.Exec.run_seq) in
+  let rate steps dt = float_of_int steps /. max 1e-9 dt in
+  Sched.Exec.note_throughput ~steps:steps_block ~seconds:dt_block;
+  pf "sequential profiling (%d instructions x %d reps):@." (steps_step / reps)
+    reps;
+  pf "  legacy Vm.step lists: %.3fs  %10.0f instr/s@." dt_step
+    (rate steps_step dt_step);
+  pf "  sink stepping:        %.3fs  %10.0f instr/s (%.2fx)@." dt_sink
+    (rate steps_sink dt_sink)
+    (dt_step /. max 1e-9 dt_sink);
+  pf "  block execution:      %.3fs  %10.0f instr/s (%.2fx)@." dt_block
+    (rate steps_block dt_block)
+    (dt_step /. max 1e-9 dt_block);
+  (* mean instructions per block, from the registry histogram *)
+  let block_len_mean =
+    match
+      List.find_opt
+        (fun (s : Obs.Metrics.sample) ->
+          s.Obs.Metrics.name = "snowboard.sched/block_len")
+        (Obs.Metrics.dump ())
+    with
+    | Some { Obs.Metrics.value = Obs.Metrics.Sample_hist h; _ }
+      when h.Obs.Metrics.count > 0 ->
+        float_of_int h.Obs.Metrics.sum /. float_of_int h.Obs.Metrics.count
+    | _ -> 0.
+  in
+  pf "mean block length: %.1f instructions@." block_len_mean;
+  (* 2b. the headline number: the whole profiling phase (execute the test,
+     build its communication profile) legacy vs fast path, in
+     guest-instructions retired per wall second *)
+  let profile_corpus run build =
+    let steps = ref 0 in
+    for _ = 1 to reps do
+      List.iteri
+        (fun i p ->
+          let r = run env ~tid:0 p in
+          steps := !steps + r.Sched.Exec.sq_steps;
+          ignore (build ~test_id:i r.Sched.Exec.sq_accesses))
+        progs
+    done;
+    !steps
+  in
+  ignore (profile_corpus Sched.Exec.run_seq_step Core.Profile.of_accesses)
+  (* warm-up *);
+  let steps_pleg, dt_pleg =
+    time (fun () ->
+        profile_corpus Sched.Exec.run_seq_step Core.Profile.of_accesses)
+  in
+  let steps_pnew, dt_pnew =
+    time (fun () ->
+        profile_corpus Sched.Exec.run_seq_shared Core.Profile.of_shared)
+  in
+  let profiling_speedup = dt_pleg /. max 1e-9 dt_pnew in
+  pf "profiling phase (run + profile per test):@.";
+  pf "  legacy (run_seq_step + of_accesses): %.3fs  %10.0f instr/s@." dt_pleg
+    (rate steps_pleg dt_pleg);
+  pf "  fast (run_seq_shared + of_shared):   %.3fs  %10.0f instr/s (%.2fx)@."
+    dt_pnew (rate steps_pnew dt_pnew) profiling_speedup;
+  (* 3. concurrent trials: per-instruction sink stepping under the
+     snowboard policy; same seed twice must reproduce every trial *)
+  let conc_results seed =
+    let rng = Random.State.make [| seed |] in
+    List.map
+      (fun s ->
+        let st = Sched.Policies.snowboard_state None in
+        let policy = Sched.Policies.snowboard rng st in
+        Sched.Exec.run_conc env ~writer:s.Harness.Scenarios.writer
+          ~reader:s.Harness.Scenarios.reader ~policy ())
+      Harness.Scenarios.all
+  in
+  ignore (conc_results 7) (* warm-up *);
+  let rs1, dt_conc = time (fun () -> conc_results 7) in
+  let rs2, _ = time (fun () -> conc_results 7) in
+  let conc_deterministic = rs1 = rs2 in
+  let conc_steps =
+    List.fold_left (fun acc r -> acc + r.Sched.Exec.cc_steps) 0 rs1
+  in
+  pf "concurrent trials: %d scenarios, %d instructions, %.3fs  %10.0f instr/s; same seed twice identical: %b@."
+    (List.length rs1) conc_steps dt_conc
+    (rate conc_steps dt_conc)
+    conc_deterministic;
+  let open Obs.Export in
+  let json =
+    Obj
+      ([
+         ("experiment", String "exec");
+         ("deterministic", Bool det);
+         ("corpus_tests", Int (List.length progs));
+         ("reps", Int reps);
+         ("seq_instructions", Int steps_step);
+         ("seq_equivalent", Bool !seq_equivalent);
+         ("profiles_identical", Bool !profiles_identical);
+         ("block_len_mean", Float block_len_mean);
+         ("conc_instructions", Int conc_steps);
+         ("conc_deterministic", Bool conc_deterministic);
+         ("events_sunk", Int (Vmm.Vm.events_sunk env.Sched.Exec.vm));
+       ]
+      @
+      if det then []
+      else
+        [
+          ("seq_step_s", Float dt_step);
+          ("seq_sink_s", Float dt_sink);
+          ("seq_block_s", Float dt_block);
+          ("seq_step_instr_per_s", Float (rate steps_step dt_step));
+          ("seq_sink_instr_per_s", Float (rate steps_sink dt_sink));
+          ("seq_block_instr_per_s", Float (rate steps_block dt_block));
+          ("sink_speedup", Float (dt_step /. max 1e-9 dt_sink));
+          ("block_speedup", Float (dt_step /. max 1e-9 dt_block));
+          ("profiling_legacy_s", Float dt_pleg);
+          ("profiling_fast_s", Float dt_pnew);
+          ("profiling_legacy_instr_per_s", Float (rate steps_pleg dt_pleg));
+          ("profiling_fast_instr_per_s", Float (rate steps_pnew dt_pnew));
+          ("profiling_speedup", Float profiling_speedup);
+          ("conc_s", Float dt_conc);
+          ("conc_instr_per_s", Float (rate conc_steps dt_conc));
+        ])
+  in
+  let path = "BENCH_exec.json" in
+  write_file path json;
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let body = really_input_string ic n in
+  close_in ic;
+  match of_string_opt body with
+  | Some (Obj fields) ->
+      pf "wrote %s (%d bytes, %d fields, parses back OK)@." path n
+        (List.length fields)
+  | _ -> pf "wrote %s but it does not parse back as a JSON object@." path
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -940,6 +1159,7 @@ let experiments =
     ("tracing", tracing);
     ("resilience", resilience);
     ("prepare", prepare_bench);
+    ("exec", exec_bench);
   ]
 
 let () =

@@ -937,8 +937,8 @@ let run_three kernel seed () (_ : obs) =
     Array.to_list
       (Array.mapi
          (fun i p ->
-           Core.Profile.of_accesses ~test_id:i
-             (Sched.Exec.run_seq env ~tid:0 p).Sched.Exec.sq_accesses)
+           Core.Profile.of_shared ~test_id:i
+             (Sched.Exec.run_seq_shared env ~tid:0 p).Sched.Exec.sq_accesses)
          progs)
   in
   let ident = Core.Identify.run profiles in

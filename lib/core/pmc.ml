@@ -49,16 +49,31 @@ let make ~write ~read ~df_leader = { write; read; df_leader }
 (* Does a live access match one side of this PMC?  Used by the scheduler's
    performed_pmc_access: the instruction and an overlapping range identify
    the access; the value is deliberately not compared because concurrent
-   runs shift heap values (section 5.3.2 discusses such divergences). *)
+   runs shift heap values (section 5.3.2 discusses such divergences).
+
+   The [_at] forms take the raw fields, so the scheduler's sink path can
+   test a live access without materialising a record for it. *)
+let matches_write_at (p : t) ~pc ~addr ~size ~write =
+  write && pc = p.write.ins
+  && addr < p.write.addr + p.write.size
+  && p.write.addr < addr + size
+
+let matches_read_at (p : t) ~pc ~addr ~size ~write =
+  (not write) && pc = p.read.ins
+  && addr < p.read.addr + p.read.size
+  && p.read.addr < addr + size
+
+let matches_at p ~pc ~addr ~size ~write =
+  matches_write_at p ~pc ~addr ~size ~write
+  || matches_read_at p ~pc ~addr ~size ~write
+
 let matches_write (p : t) (a : Trace.access) =
-  a.Trace.kind = Trace.Write && a.Trace.pc = p.write.ins
-  && a.Trace.addr < p.write.addr + p.write.size
-  && p.write.addr < a.Trace.addr + a.Trace.size
+  matches_write_at p ~pc:a.Trace.pc ~addr:a.Trace.addr ~size:a.Trace.size
+    ~write:(a.Trace.kind = Trace.Write)
 
 let matches_read (p : t) (a : Trace.access) =
-  a.Trace.kind = Trace.Read && a.Trace.pc = p.read.ins
-  && a.Trace.addr < p.read.addr + p.read.size
-  && p.read.addr < a.Trace.addr + a.Trace.size
+  matches_read_at p ~pc:a.Trace.pc ~addr:a.Trace.addr ~size:a.Trace.size
+    ~write:(a.Trace.kind = Trace.Write)
 
 let matches p a = matches_write p a || matches_read p a
 

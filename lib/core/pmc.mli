@@ -45,6 +45,14 @@ val matches : t -> Vmm.Trace.access -> bool
 (** [matches_write] or [matches_read]; the scheduler's
     performed_pmc_access test. *)
 
+val matches_write_at : t -> pc:int -> addr:int -> size:int -> write:bool -> bool
+(** {!matches_write} on raw fields; lets the scheduler's sink path test a
+    live access without materialising a record. *)
+
+val matches_read_at : t -> pc:int -> addr:int -> size:int -> write:bool -> bool
+
+val matches_at : t -> pc:int -> addr:int -> size:int -> write:bool -> bool
+
 val equal : t -> t -> bool
 
 val hash : t -> int

@@ -12,6 +12,12 @@ val of_accesses : test_id:int -> Vmm.Trace.access list -> t
     a different instruction covers the same range with the same value and
     no write intervenes (section 4.3). *)
 
+val of_shared : test_id:int -> Vmm.Trace.access list -> t
+(** Fast-path builder for traces already filtered to shared accesses
+    (e.g. by {!Sched.Exec.run_seq_shared}): identical profiles to
+    {!of_accesses} on the shared subset, without the per-write table
+    copy in the double-fetch scan.  [of_accesses] is the oracle. *)
+
 val length : t -> int
 
 val num_writes : t -> int

@@ -112,8 +112,8 @@ let mutate_pair t rng (writer, reader) =
   let mutate p = Fuzzer.Gen.mutate rng p in
   let w' = mutate writer and r' = mutate reader in
   let profile id prog =
-    Core.Profile.of_accesses ~test_id:id
-      (Exec.run_seq t.env ~tid:0 prog).Exec.sq_accesses
+    Core.Profile.of_shared ~test_id:id
+      (Exec.run_seq_shared t.env ~tid:0 prog).Exec.sq_accesses
   in
   let ident = Core.Identify.run [ profile 0 w'; profile 1 r' ] in
   let hint = ref None in

@@ -111,9 +111,9 @@ let profile_corpus env corpus =
   let profiles =
     List.map
       (fun (e : Fuzzer.Corpus.entry) ->
-        let r = Exec.run_seq env ~tid:0 e.prog in
+        let r = Exec.run_seq_shared env ~tid:0 e.prog in
         steps := !steps + r.Exec.sq_steps;
-        Core.Profile.of_accesses ~test_id:e.id r.Exec.sq_accesses)
+        Core.Profile.of_shared ~test_id:e.id r.Exec.sq_accesses)
       (Fuzzer.Corpus.to_list corpus)
   in
   (profiles, !steps)
@@ -135,9 +135,9 @@ let profile_corpus_parallel ~jobs ~kernel corpus =
             let env = Exec.make_env kernel in
             List.map
               (fun (e : Fuzzer.Corpus.entry) ->
-                let r = Exec.run_seq env ~tid:0 e.prog in
+                let r = Exec.run_seq_shared env ~tid:0 e.prog in
                 ( e.id,
-                  Core.Profile.of_accesses ~test_id:e.id r.Exec.sq_accesses,
+                  Core.Profile.of_shared ~test_id:e.id r.Exec.sq_accesses,
                   r.Exec.sq_steps ))
               sh))
       shards

@@ -249,6 +249,11 @@ let of_string_opt s =
 
 let time_unit = "us"
 
+(* Units whose values derive from the wall clock and therefore vary run to
+   run: elapsed time and anything-per-second rates.  Deterministic
+   artifacts drop metrics carrying them. *)
+let nondeterministic_units = [ time_unit; "instr/s" ]
+
 let sample_json (s : Metrics.sample) =
   let base = [ ("name", String s.Metrics.name) ] in
   let unit_ =
@@ -276,7 +281,12 @@ let metrics_json ?(deterministic = false) () =
   let samples = Metrics.dump () in
   let samples =
     if deterministic then
-      List.filter (fun (s : Metrics.sample) -> s.Metrics.unit_ <> Some time_unit) samples
+      List.filter
+        (fun (s : Metrics.sample) ->
+          match s.Metrics.unit_ with
+          | Some u -> not (List.mem u nondeterministic_units)
+          | None -> true)
+        samples
     else samples
   in
   List (List.map sample_json samples)

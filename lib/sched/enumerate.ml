@@ -33,16 +33,17 @@ type result = {
    indices; returns the total decision points seen through [count]. *)
 let vector_policy ~first ~(positions : int list) ~(count : int ref) : Exec.policy
     =
-  let decide _tid evs =
+  let decide _tid (s : Vmm.Vm.sink) =
     let switch = ref false in
-    List.iter
-      (fun ev ->
-        match ev with
-        | Vmm.Vm.Eaccess a when Trace.is_shared a ->
-            incr count;
-            if List.mem !count positions then switch := true
-        | _ -> ())
-      evs;
+    for k = 0 to s.Vmm.Vm.sk_n_acc - 1 do
+      if
+        Trace.is_shared_at ~addr:s.Vmm.Vm.sk_acc_addr.(k)
+          ~sp:s.Vmm.Vm.sk_acc_sp.(k)
+      then begin
+        incr count;
+        if List.mem !count positions then switch := true
+      end
+    done;
     !switch
   in
   { Exec.first = first; decide }

@@ -6,6 +6,17 @@
    after every instruction, and a thread that spins (Pause) is forcibly
    descheduled - the is_live heuristic of Algorithm 2.
 
+   Execution is allocation-free in the steady state: the interpreter
+   writes each instruction's events into a caller-owned [Vm.sink]
+   instead of returning lists, and sequential profiling retires plain
+   instructions in [Vm.run_block] batches, only surfacing at
+   trace-relevant events (the SKI/QEMU-style batched guest execution the
+   paper's scale depends on, section 4.4).  Concurrent execution keeps
+   per-instruction policy consultation so every schedule, replay trace
+   and flight-recorder stream is byte-identical to the legacy
+   list-returning path, which is kept as [run_seq_step] - the
+   observational-equivalence oracle and benchmark baseline.
+
    The executor also maintains a per-thread shadow call stack from the
    VM's call/return events.  Each access is attributed to the innermost
    non-helper kernel function, which is what the race detector and the
@@ -38,71 +49,22 @@ let h_seq_steps =
 let h_conc_steps =
   Obs.Metrics.histogram ~unit_:"instr" "snowboard.vmm/conc_run_steps"
 
-type env = { kern : Kernel.t; vm : Vm.t; snap : Vm.snap }
+(* Mean instructions per execution block, observed once per block-based
+   sequential run (never per block: the histogram takes the registry
+   mutex, which worker domains must not contend on per guest event). *)
+let h_block_len =
+  Obs.Metrics.histogram ~unit_:"instr" "snowboard.sched/block_len"
 
-let make_env cfg =
-  let kern = Kernel.build cfg in
-  let vm, snap = Kernel.boot kern in
-  { kern; vm; snap }
+(* Interpreter throughput as last measured by the bench.  The gauge's
+   rate unit marks it wall-clock-derived, so deterministic artifacts
+   exclude it (like every "us" metric). *)
+let g_steps_per_sec =
+  Obs.Metrics.gauge ~unit_:"instr/s" "snowboard.sched/steps_per_sec"
 
-(* Section 4.1: "Snowboard can grow the number of initial kernel states
-   it utilizes to increase diversity."  [with_setup] derives a new
-   environment whose snapshot is taken after running a setup program on
-   vCPU 0 from the parent snapshot - e.g. a state with a tunnel already
-   registered or the filesystem already dirtied.  The setup must be clean
-   (no panic); the guest console is part of the snapshot and stays
-   empty. *)
-let with_setup env (setup : Fuzzer.Prog.t) =
-  let vm = env.vm in
-  Vm.restore vm env.snap;
-  List.iteri
-    (fun i (c : Fuzzer.Prog.call) ->
-      List.iteri
-        (fun j arg ->
-          match arg with
-          | Fuzzer.Prog.Buf s ->
-              let base = Fuzzer.Prog.buf_addr i + (16 * j) in
-              String.iteri
-                (fun k ch -> Vm.poke vm 0 (base + k) 1 (Char.code ch))
-                s
-          | _ -> ())
-        c.args)
-    setup;
-  let retvals = Array.make (List.length setup) (-1) in
-  (try
-     List.iteri
-       (fun i (c : Fuzzer.Prog.call) ->
-         if Vm.panicked vm then raise Exit;
-         let args =
-           List.mapi
-             (fun j a ->
-               match a with
-               | Fuzzer.Prog.Const v -> v
-               | Fuzzer.Prog.Res k -> if k >= 0 && k < i then retvals.(k) else -1
-               | Fuzzer.Prog.Buf _ -> Fuzzer.Prog.buf_addr i + (16 * j))
-             c.args
-         in
-         Vm.start_call vm 0 env.kern.Kernel.syscall_entry args;
-         Vm.set_reg vm 0 Isa.r12 c.nr;
-         let budget = ref 100_000 in
-         let finished = ref false in
-         while not !finished do
-           if !budget <= 0 then raise Exit;
-           decr budget;
-           let evs = Vm.step vm 0 in
-           List.iter
-             (function
-               | Vm.Eret_to_user ->
-                   retvals.(i) <- Vm.reg vm 0 Isa.r0;
-                   finished := true
-               | Vm.Epanic _ | Vm.Ehalt -> finished := true
-               | _ -> ())
-             evs
-         done)
-       setup
-   with Exit -> ());
-  if Vm.panicked vm then invalid_arg "exec: setup program panicked";
-  { env with snap = Vm.snapshot vm }
+let note_throughput ~steps ~seconds =
+  if seconds > 0. then
+    Obs.Metrics.set g_steps_per_sec
+      (int_of_float (float_of_int steps /. seconds))
 
 (* Runtime helpers whose frames are skipped when attributing accesses. *)
 let helper_functions =
@@ -112,6 +74,29 @@ let helper_functions =
     "fd_install"; "fd_lookup"; "fd_clear"; "file_create"; "ext4_inode_addr";
     "ext4_compute_csum"; "syscall_entry";
   ]
+
+(* Cached access attribution: one name and one is-helper bit per pc,
+   computed once per image, so attributing a shared access is two array
+   reads instead of an [Asm.func_name] lookup plus an O(|helpers|)
+   [List.mem] over strings. *)
+type attr = { a_names : string array; a_helper : bool array }
+
+let attr_of_image (image : Asm.image) =
+  let names = image.Asm.func_of_pc in
+  { a_names = names; a_helper = Array.map (fun n -> List.mem n helper_functions) names }
+
+let attr_name a pc =
+  if pc >= 0 && pc < Array.length a.a_names then a.a_names.(pc) else "<invalid>"
+
+let attr_is_helper a pc =
+  pc >= 0 && pc < Array.length a.a_helper && a.a_helper.(pc)
+
+type env = { kern : Kernel.t; vm : Vm.t; snap : Vm.snap; attr : attr }
+
+let make_env cfg =
+  let kern = Kernel.build cfg in
+  let vm, snap = Kernel.boot kern in
+  { kern; vm; snap; attr = attr_of_image kern.Kernel.image }
 
 type observer = {
   on_access : Trace.access -> ctx:string -> unit;
@@ -131,23 +116,14 @@ let default_observer =
 (* Shadow call stacks and access attribution. *)
 type frames = { mutable stack : int list }
 
-let attribute image frames pc =
-  let name = Asm.func_name image pc in
-  if not (List.mem name helper_functions) then name
+let attribute attr frames pc =
+  if not (attr_is_helper attr pc) then attr_name attr pc
   else
     let rec walk = function
-      | [] -> name
-      | f :: rest ->
-          let n = Asm.func_name image f in
-          if List.mem n helper_functions then walk rest else n
+      | [] -> attr_name attr pc
+      | f :: rest -> if attr_is_helper attr f then walk rest else attr_name attr f
     in
     walk frames.stack
-
-let update_frames frames = function
-  | Vm.Ecall target -> frames.stack <- target :: frames.stack
-  | Vm.Ereturn -> (
-      match frames.stack with [] -> () | _ :: rest -> frames.stack <- rest)
-  | _ -> ()
 
 (* Install a program's user-space buffers and return an argument resolver.
    Buffer j of call i lives at [Prog.buf_addr i + 16j]. *)
@@ -176,6 +152,42 @@ let start_syscall env tid (retvals : int array) i (c : Fuzzer.Prog.call) =
   Vm.start_call env.vm tid env.kern.Kernel.syscall_entry args;
   Vm.set_reg env.vm tid Isa.r12 c.nr
 
+(* Section 4.1: "Snowboard can grow the number of initial kernel states
+   it utilizes to increase diversity."  [with_setup] derives a new
+   environment whose snapshot is taken after running a setup program on
+   vCPU 0 from the parent snapshot - e.g. a state with a tunnel already
+   registered or the filesystem already dirtied.  The setup must be clean
+   (no panic); the guest console is part of the snapshot and stays
+   empty. *)
+let with_setup env (setup : Fuzzer.Prog.t) =
+  let vm = env.vm in
+  Vm.restore vm env.snap;
+  install_buffers vm 0 setup;
+  let retvals = Array.make (List.length setup) (-1) in
+  let sink = Vm.make_sink () in
+  (try
+     List.iteri
+       (fun i (c : Fuzzer.Prog.call) ->
+         if Vm.panicked vm then raise Exit;
+         start_syscall env 0 retvals i c;
+         let budget = ref 100_000 in
+         let finished = ref false in
+         while not !finished do
+           if !budget <= 0 then raise Exit;
+           let reason = Vm.run_block vm ~tid:0 ~quantum:!budget sink in
+           budget := !budget - sink.Vm.sk_steps;
+           match reason with
+           | Vm.Rret_to_user ->
+               retvals.(i) <- Vm.reg vm 0 Isa.r0;
+               finished := true
+           | Vm.Rdead -> finished := true
+           | Vm.Rnone | Vm.Revent -> ()
+         done)
+       setup
+   with Exit -> ());
+  if Vm.panicked vm then invalid_arg "exec: setup program panicked";
+  { env with snap = Vm.snapshot vm }
+
 (* ------------------------------------------------------------------ *)
 (* Sequential execution, used for profiling and fuzzing.               *)
 
@@ -190,20 +202,163 @@ type seq_result = {
 
 let syscall_budget = 100_000
 
-let run_seq env ~tid (prog : Fuzzer.Prog.t) =
+let seq_prologue env ~tid prog =
   Vm.restore env.vm env.snap;
   Vm.reset_coverage env.vm;
   install_buffers env.vm tid prog;
-  let retvals = Array.make (List.length prog) (-1) in
+  Array.make (List.length prog) (-1)
+
+let seq_epilogue env ~steps ~accesses ~retvals =
+  Obs.Metrics.incr m_seq_runs;
+  Obs.Metrics.observe h_seq_steps steps;
+  {
+    sq_accesses = List.rev accesses;
+    sq_console = Vm.console_lines env.vm;
+    sq_panicked = Vm.panicked env.vm;
+    sq_retvals = retvals;
+    sq_steps = steps;
+    sq_edges = Vm.coverage_edges env.vm;
+  }
+
+(* Profiling hot loop: block execution.  Each [run_block] retires a run
+   of plain instructions plus at most one trace-relevant instruction;
+   the per-syscall budget is enforced through the block quantum and
+   [sk_steps], so instruction counts (and thus budget aborts) are
+   exactly those of the per-step paths below. *)
+let run_seq env ~tid (prog : Fuzzer.Prog.t) =
+  let retvals = seq_prologue env ~tid prog in
   let accesses = ref [] in
   let steps = ref 0 in
-  let frames = { stack = [] } in
+  let blocks = ref 0 in
+  let sink = Vm.make_sink () in
   (try
      List.iteri
        (fun i c ->
          if Vm.panicked env.vm then raise Exit;
          start_syscall env tid retvals i c;
-         frames.stack <- [];
+         let budget = ref syscall_budget in
+         let finished = ref false in
+         while not !finished do
+           if !budget <= 0 then raise Exit;
+           let reason = Vm.run_block env.vm ~tid ~quantum:!budget sink in
+           budget := !budget - sink.Vm.sk_steps;
+           steps := !steps + sink.Vm.sk_steps;
+           incr blocks;
+           for k = 0 to sink.Vm.sk_n_acc - 1 do
+             accesses := Vm.sink_access sink ~thread:tid k :: !accesses
+           done;
+           match reason with
+           | Vm.Rret_to_user ->
+               retvals.(i) <- Vm.reg env.vm tid Isa.r0;
+               finished := true
+           | Vm.Rdead -> finished := true
+           | Vm.Rnone | Vm.Revent -> ()
+         done)
+       prog
+   with Exit -> ());
+  if !blocks > 0 then Obs.Metrics.observe h_block_len (!steps / !blocks);
+  seq_epilogue env ~steps:!steps ~accesses:!accesses ~retvals
+
+(* Profiling fast path: block execution, but only *shared* accesses are
+   ever materialised as Trace.access records ([sq_accesses] holds the
+   shared subset, in order).  Profiling consumes nothing else - the
+   stack-local majority of accesses (~2 in 3) used to be boxed, listed,
+   reversed and then filtered straight back out by
+   [Core.Profile.of_accesses] - so [sq_edges] is left empty rather than
+   extracted from the coverage table (a per-run cost comparable to
+   interpreting a short test). *)
+let run_seq_shared env ~tid (prog : Fuzzer.Prog.t) =
+  let retvals = seq_prologue env ~tid prog in
+  let accesses = ref [] in
+  let steps = ref 0 in
+  let blocks = ref 0 in
+  let sink = Vm.make_sink () in
+  (try
+     List.iteri
+       (fun i c ->
+         if Vm.panicked env.vm then raise Exit;
+         start_syscall env tid retvals i c;
+         let budget = ref syscall_budget in
+         let finished = ref false in
+         while not !finished do
+           if !budget <= 0 then raise Exit;
+           let reason = Vm.run_block env.vm ~tid ~quantum:!budget sink in
+           budget := !budget - sink.Vm.sk_steps;
+           steps := !steps + sink.Vm.sk_steps;
+           incr blocks;
+           for k = 0 to sink.Vm.sk_n_acc - 1 do
+             if
+               Trace.is_shared_at ~addr:sink.Vm.sk_acc_addr.(k)
+                 ~sp:sink.Vm.sk_acc_sp.(k)
+             then accesses := Vm.sink_access sink ~thread:tid k :: !accesses
+           done;
+           match reason with
+           | Vm.Rret_to_user ->
+               retvals.(i) <- Vm.reg env.vm tid Isa.r0;
+               finished := true
+           | Vm.Rdead -> finished := true
+           | Vm.Rnone | Vm.Revent -> ()
+         done)
+       prog
+   with Exit -> ());
+  if !blocks > 0 then Obs.Metrics.observe h_block_len (!steps / !blocks);
+  Obs.Metrics.incr m_seq_runs;
+  Obs.Metrics.observe h_seq_steps !steps;
+  {
+    sq_accesses = List.rev !accesses;
+    sq_console = Vm.console_lines env.vm;
+    sq_panicked = Vm.panicked env.vm;
+    sq_retvals = retvals;
+    sq_steps = !steps;
+    sq_edges = [];
+  }
+
+(* Per-instruction sink stepping: the middle rung the bench uses to
+   split the uplift into "no per-step allocation" (this) and "batched
+   plain instructions" (run_seq). *)
+let run_seq_sink env ~tid (prog : Fuzzer.Prog.t) =
+  let retvals = seq_prologue env ~tid prog in
+  let accesses = ref [] in
+  let steps = ref 0 in
+  let sink = Vm.make_sink () in
+  (try
+     List.iteri
+       (fun i c ->
+         if Vm.panicked env.vm then raise Exit;
+         start_syscall env tid retvals i c;
+         let budget = ref syscall_budget in
+         let finished = ref false in
+         while not !finished do
+           if !budget <= 0 then raise Exit;
+           decr budget;
+           incr steps;
+           let reason = Vm.step_sink env.vm ~tid sink in
+           for k = 0 to sink.Vm.sk_n_acc - 1 do
+             accesses := Vm.sink_access sink ~thread:tid k :: !accesses
+           done;
+           match reason with
+           | Vm.Rret_to_user ->
+               retvals.(i) <- Vm.reg env.vm tid Isa.r0;
+               finished := true
+           | Vm.Rdead -> finished := true
+           | Vm.Rnone | Vm.Revent -> ()
+         done)
+       prog
+   with Exit -> ());
+  seq_epilogue env ~steps:!steps ~accesses:!accesses ~retvals
+
+(* The legacy list-returning path, verbatim: the observational-
+   equivalence oracle for the two paths above and the benchmark
+   baseline. *)
+let run_seq_step env ~tid (prog : Fuzzer.Prog.t) =
+  let retvals = seq_prologue env ~tid prog in
+  let accesses = ref [] in
+  let steps = ref 0 in
+  (try
+     List.iteri
+       (fun i c ->
+         if Vm.panicked env.vm then raise Exit;
+         start_syscall env tid retvals i c;
          let budget = ref syscall_budget in
          let finished = ref false in
          while not !finished do
@@ -213,7 +368,6 @@ let run_seq env ~tid (prog : Fuzzer.Prog.t) =
            let evs = Vm.step env.vm tid in
            List.iter
              (fun ev ->
-               update_frames frames ev;
                match ev with
                | Vm.Eaccess a -> accesses := a :: !accesses
                | Vm.Eret_to_user ->
@@ -225,23 +379,14 @@ let run_seq env ~tid (prog : Fuzzer.Prog.t) =
          done)
        prog
    with Exit -> ());
-  Obs.Metrics.incr m_seq_runs;
-  Obs.Metrics.observe h_seq_steps !steps;
-  {
-    sq_accesses = List.rev !accesses;
-    sq_console = Vm.console_lines env.vm;
-    sq_panicked = Vm.panicked env.vm;
-    sq_retvals = retvals;
-    sq_steps = !steps;
-    sq_edges = Vm.coverage_edges env.vm;
-  }
+  seq_epilogue env ~steps:!steps ~accesses:!accesses ~retvals
 
 (* ------------------------------------------------------------------ *)
 (* Concurrent execution under a scheduling policy.                     *)
 
 type policy = {
   first : int;  (* thread scheduled first *)
-  decide : int -> Vm.event list -> bool;  (* switch after this step? *)
+  decide : int -> Vm.sink -> bool;  (* switch after this instruction? *)
 }
 
 type conc_result = {
@@ -274,7 +419,14 @@ let injected_timeout_horizon = 192
 (* Generalised executor: interleave [progs.(i)] on vCPU i (the paper uses
    two threads; the section 6 extension uses three).  Exactly one vCPU
    runs at a time; on a switch request the executor rotates round-robin
-   to the next runnable thread. *)
+   to the next runnable thread.
+
+   Stepping goes through [Vm.step_sink] - one instruction per call, so
+   [policy.decide] keeps its exact per-instruction cadence and every
+   recorded replay trace stays byte-identical to the legacy [Vm.step]
+   loop - but without the per-step event-list allocation, and a
+   Trace.access record is materialised only for *shared* accesses (the
+   ones result lists and observers actually consume). *)
 let run_multi env ~(progs : Fuzzer.Prog.t array) ~(policy : policy)
     ?(observer = default_observer) ?watchdog ?(fault = Fault.No_fault) () =
   let n = Array.length progs in
@@ -310,7 +462,7 @@ let run_multi env ~(progs : Fuzzer.Prog.t array) ~(policy : policy)
   in
   let threads = Array.map mk progs in
   let accesses = Array.init n (fun _ -> ref []) in
-  let image = env.kern.Kernel.image in
+  let sink = Vm.make_sink () in
   let steps = ref 0 in
   let switches = ref 0 in
   let sched_points = ref 0 in  (* switch requests issued by the policy *)
@@ -415,47 +567,53 @@ let run_multi env ~(progs : Fuzzer.Prog.t array) ~(policy : policy)
        | Vm.Kernel | Vm.Dead -> ());
        if Vm.cpu_mode env.vm tid = Vm.Kernel then begin
          incr steps;
-         let evs = Vm.step env.vm tid in
-         let paused = ref false in
-         List.iter
-           (fun ev ->
-             update_frames th.frames ev;
-             match ev with
-             | Vm.Eaccess a ->
-                 if Trace.is_shared a then begin
-                   accesses.(tid) := a :: !(accesses.(tid));
-                   let ctx = attribute image th.frames a.Trace.pc in
-                   observer.on_access a ~ctx;
-                   if ev_on () then
-                     emit tid
-                       (Obs.Event.Access
-                          {
-                            pc = a.Trace.pc;
-                            addr = a.Trace.addr;
-                            size = a.Trace.size;
-                            write = (a.Trace.kind = Trace.Write);
-                            value = a.Trace.value;
-                            ctx;
-                          })
-                 end
-             | Vm.Eret_to_user ->
-                 th.retvals.(th.next_call) <- Vm.reg env.vm tid Isa.r0;
-                 if ev_on () then
-                   emit tid
-                     (Obs.Event.Syscall_exit
-                        { index = th.next_call; ret = th.retvals.(th.next_call) });
-                 th.next_call <- th.next_call + 1
-             | Vm.Epause -> paused := true
-             | _ -> ())
-           evs;
+         ignore (Vm.step_sink env.vm ~tid sink);
+         (* accesses first: a Call's stack write is attributed with the
+            frames *before* the push, a Ret's stack read before the pop -
+            the order the legacy per-event loop processed them in *)
+         for k = 0 to sink.Vm.sk_n_acc - 1 do
+           let addr = sink.Vm.sk_acc_addr.(k) in
+           if Trace.is_shared_at ~addr ~sp:sink.Vm.sk_acc_sp.(k) then begin
+             let a = Vm.sink_access sink ~thread:tid k in
+             accesses.(tid) := a :: !(accesses.(tid));
+             let ctx = attribute env.attr th.frames a.Trace.pc in
+             observer.on_access a ~ctx;
+             if ev_on () then
+               emit tid
+                 (Obs.Event.Access
+                    {
+                      pc = a.Trace.pc;
+                      addr = a.Trace.addr;
+                      size = a.Trace.size;
+                      write = (a.Trace.kind = Trace.Write);
+                      value = a.Trace.value;
+                      ctx;
+                    })
+           end
+         done;
+         if sink.Vm.sk_call >= 0 then
+           th.frames.stack <- sink.Vm.sk_call :: th.frames.stack;
+         if sink.Vm.sk_return then begin
+           match th.frames.stack with
+           | [] -> ()
+           | _ :: rest -> th.frames.stack <- rest
+         end;
+         if sink.Vm.sk_ret_to_user then begin
+           th.retvals.(th.next_call) <- Vm.reg env.vm tid Isa.r0;
+           if ev_on () then
+             emit tid
+               (Obs.Event.Syscall_exit
+                  { index = th.next_call; ret = th.retvals.(th.next_call) });
+           th.next_call <- th.next_call + 1
+         end;
          finish_check tid;
          if Vm.panicked env.vm then raise Exit;
-         let want = policy.decide tid evs in
+         let want = policy.decide tid sink in
          if want then begin
            incr sched_points;
            if ev_on () then emit tid (Obs.Event.Sched_point { tid })
          end;
-         if !paused then begin
+         if sink.Vm.sk_pause then begin
            (* the is_live heuristic: a spinning thread must yield *)
            match next_runnable tid with
            | Some t ->

@@ -2,6 +2,12 @@
     sequential tests for profiling and fuzzing, and concurrent tests
     under a pluggable scheduling policy, all from the boot snapshot.
 
+    Execution is allocation-free in the steady state: the interpreter
+    writes events into a caller-owned {!Vmm.Vm.sink}, and sequential
+    profiling retires plain instructions in {!Vmm.Vm.run_block} batches.
+    The legacy list-returning path is kept as {!run_seq_step}, the
+    observational-equivalence oracle and benchmark baseline.
+
     The executor also maintains per-thread shadow call stacks and
     attributes every access to the innermost non-helper kernel function,
     which is how the race detector and the oracle name racing code. *)
@@ -10,7 +16,29 @@ val src : Logs.src
 (** The [snowboard.sched] log source, shared by the execution and
     exploration layers. *)
 
-type env = { kern : Kernel.t; vm : Vmm.Vm.t; snap : Vmm.Vm.snap }
+val helper_functions : string list
+(** Runtime helpers (memcpy, locks, allocator internals, ...) skipped by
+    access attribution. *)
+
+type attr
+(** Cached access attribution for one kernel image: per-pc function name
+    and is-helper bit, precomputed so attributing an access is two array
+    reads instead of a name lookup plus a list scan. *)
+
+val attr_of_image : Vmm.Asm.image -> attr
+
+val attr_name : attr -> int -> string
+(** Function containing [pc]; ["<invalid>"] out of range. *)
+
+val attr_is_helper : attr -> int -> bool
+(** Is [pc] inside one of {!helper_functions}?  [false] out of range. *)
+
+type env = {
+  kern : Kernel.t;
+  vm : Vmm.Vm.t;
+  snap : Vmm.Vm.snap;
+  attr : attr;  (** attribution cache for [kern]'s image *)
+}
 
 val make_env : Kernel.Config.t -> env
 (** Build the kernel image, boot it and snapshot the booted state. *)
@@ -20,10 +48,6 @@ val with_setup : env -> Fuzzer.Prog.t -> env
     program from the parent snapshot (section 4.1's "grow the number of
     initial kernel states").  Raises [Invalid_argument] if the setup
     program panics. *)
-
-val helper_functions : string list
-(** Runtime helpers (memcpy, locks, allocator internals, ...) skipped by
-    access attribution. *)
 
 type observer = {
   on_access : Vmm.Trace.access -> ctx:string -> unit;
@@ -56,13 +80,43 @@ val syscall_budget : int
 (** Instruction budget per system call; exceeding it aborts the test. *)
 
 val run_seq : env -> tid:int -> Fuzzer.Prog.t -> seq_result
-(** Restore the snapshot and run the program to completion on one vCPU. *)
+(** Restore the snapshot and run the program to completion on one vCPU,
+    retiring plain instructions in {!Vmm.Vm.run_block} batches.
+    Observationally identical to {!run_seq_step} (same accesses, console,
+    retvals, step counts and coverage edges). *)
+
+val run_seq_shared : env -> tid:int -> Fuzzer.Prog.t -> seq_result
+(** {!run_seq}, but [sq_accesses] holds only the *shared* accesses
+    (kernel-space, non-stack), filtered on the sink's raw fields before
+    any record is allocated, and [sq_edges] is left empty (profiling
+    consumes neither coverage nor private accesses).  Equals
+    {!run_seq_step} with its [sq_accesses] filtered through
+    {!Vmm.Trace.is_shared} and its [sq_edges] dropped; every other field
+    is identical.  The profiling pipeline's fast path — feed the result
+    to {!Core.Profile.of_shared}. *)
+
+val run_seq_sink : env -> tid:int -> Fuzzer.Prog.t -> seq_result
+(** [run_seq] stepping one instruction per {!Vmm.Vm.step_sink} call: no
+    per-step allocation but no batching.  The middle rung the bench uses
+    to split the block path's uplift into its two causes. *)
+
+val run_seq_step : env -> tid:int -> Fuzzer.Prog.t -> seq_result
+(** The legacy list-returning path over {!Vmm.Vm.step}, kept verbatim as
+    the observational-equivalence oracle and benchmark baseline. *)
+
+val note_throughput : steps:int -> seconds:float -> unit
+(** Record a measured interpreter throughput in the
+    [snowboard.sched/steps_per_sec] gauge.  The executor owns the gauge
+    but cannot measure wall time (no unix dependency); the bench calls
+    this.  The gauge's rate unit keeps it out of deterministic
+    artifacts. *)
 
 type policy = {
   first : int;  (** thread scheduled first *)
-  decide : int -> Vmm.Vm.event list -> bool;
-      (** called after every step with the thread and its events; [true]
-          requests a switch to the other thread *)
+  decide : int -> Vmm.Vm.sink -> bool;
+      (** called after every instruction with the thread and the sink
+          frame holding that instruction's events; [true] requests a
+          switch to the next runnable thread *)
 }
 
 type conc_result = {
@@ -97,6 +151,11 @@ val run_multi :
     three).  On a switch request the executor rotates round-robin to the
     next runnable thread.  A spinning thread (Pause) is forcibly
     descheduled (the is_live heuristic); a panic ends the trial.
+
+    Stepping goes through {!Vmm.Vm.step_sink} — one instruction per
+    call, so [policy.decide] keeps its per-instruction cadence and every
+    recorded replay trace is byte-identical to the legacy [Vm.step]
+    loop, without the per-step allocations.
 
     [watchdog] is a per-trial step budget: exceeding it raises
     {!Fault.Watchdog_timeout} (unlike [conc_budget], which merely flags

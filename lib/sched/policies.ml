@@ -13,7 +13,14 @@
      the flags set either, so it needs far more interleavings to land on
      narrow windows (the 84x of the paper).
    - [naive]: sparse uniformly random preemption at shared accesses, used
-     for the Random/Duplicate pairing baselines. *)
+     for the Random/Duplicate pairing baselines.
+
+   Policies read the executor's sink frame directly: the per-instruction
+   accesses live in the sink's parallel arrays and are matched on their
+   raw fields, so deciding never allocates.  RNG draw order is identical
+   to the legacy event-list policies (one potential draw per matching
+   access, in program order), which keeps recorded schedules and replay
+   traces byte-stable across the sink rewrite. *)
 
 module Vm = Vmm.Vm
 module Trace = Vmm.Trace
@@ -41,40 +48,39 @@ let add_pmc st pmc =
 let signature (a : Trace.access) = (a.Trace.pc, a.Trace.kind, a.Trace.addr)
 
 let snowboard rng (st : snowboard_state) : Exec.policy =
-  let decide tid evs =
+  let decide tid (s : Vm.sink) =
     let switch = ref false in
-    List.iter
-      (fun ev ->
-        match ev with
-        | Vm.Eaccess a when Trace.is_shared a ->
-            let siga = signature a in
-            if List.exists (fun p -> Core.Pmc.matches p a) st.current_pmcs then begin
-              (* performed_pmc_access: remember the preceding access as a
-                 flag for future trials, then maybe reschedule *)
-              (match st.last_access.(tid) with
-              | Some s -> Hashtbl.replace st.flags s ()
-              | None -> ());
-              if Obs.Event.enabled () then
-                Obs.Event.emit ~tid
-                  (Obs.Event.Hint_hit
-                     {
-                       write = a.Trace.kind = Trace.Write;
-                       pc = a.Trace.pc;
-                       addr = a.Trace.addr;
-                     });
-              if Random.State.bool rng then switch := true
-            end
-            else if Hashtbl.mem st.flags siga then begin
-              (* pmc_access_coming: the PMC access is imminent *)
-              if Obs.Event.enabled () then
-                Obs.Event.emit ~tid
-                  (Obs.Event.Hint_window
-                     { pc = a.Trace.pc; addr = a.Trace.addr });
-              if Random.State.bool rng then switch := true
-            end;
-            st.last_access.(tid) <- Some siga
-        | _ -> ())
-      evs;
+    for k = 0 to s.Vm.sk_n_acc - 1 do
+      let addr = s.Vm.sk_acc_addr.(k) and sp = s.Vm.sk_acc_sp.(k) in
+      if Trace.is_shared_at ~addr ~sp then begin
+        let pc = s.Vm.sk_acc_pc.(k)
+        and size = s.Vm.sk_acc_size.(k)
+        and write = s.Vm.sk_acc_write.(k) in
+        let kind = if write then Trace.Write else Trace.Read in
+        let siga = (pc, kind, addr) in
+        if
+          List.exists
+            (fun p -> Core.Pmc.matches_at p ~pc ~addr ~size ~write)
+            st.current_pmcs
+        then begin
+          (* performed_pmc_access: remember the preceding access as a
+             flag for future trials, then maybe reschedule *)
+          (match st.last_access.(tid) with
+          | Some s -> Hashtbl.replace st.flags s ()
+          | None -> ());
+          if Obs.Event.enabled () then
+            Obs.Event.emit ~tid (Obs.Event.Hint_hit { write; pc; addr });
+          if Random.State.bool rng then switch := true
+        end
+        else if Hashtbl.mem st.flags siga then begin
+          (* pmc_access_coming: the PMC access is imminent *)
+          if Obs.Event.enabled () then
+            Obs.Event.emit ~tid (Obs.Event.Hint_window { pc; addr });
+          if Random.State.bool rng then switch := true
+        end;
+        st.last_access.(tid) <- Some siga
+      end
+    done;
     !switch
   in
   { Exec.first = (if Random.State.bool rng then 1 else 0); decide }
@@ -85,15 +91,12 @@ let ski rng (hint : Core.Pmc.t option) : Exec.policy =
     | Some p -> [ p.Core.Pmc.write.Core.Pmc.ins; p.Core.Pmc.read.Core.Pmc.ins ]
     | None -> []
   in
-  let decide _tid evs =
+  let decide _tid (s : Vm.sink) =
     let switch = ref false in
-    List.iter
-      (fun ev ->
-        match ev with
-        | Vm.Eaccess a when List.mem a.Trace.pc ins ->
-            if Random.State.bool rng then switch := true
-        | _ -> ())
-      evs;
+    for k = 0 to s.Vm.sk_n_acc - 1 do
+      if List.mem s.Vm.sk_acc_pc.(k) ins then
+        if Random.State.bool rng then switch := true
+    done;
     !switch
   in
   { Exec.first = (if Random.State.bool rng then 1 else 0); decide }
@@ -108,22 +111,19 @@ let pct rng ~depth ~est_len : Exec.policy =
     List.init (max 0 (depth - 1)) (fun _ -> Random.State.int rng (max 1 est_len))
   in
   let step = ref 0 in
-  let decide _tid _evs =
+  let decide _tid (_ : Vm.sink) =
     incr step;
     List.mem !step change_points
   in
   { Exec.first = (if Random.State.bool rng then 1 else 0); decide }
 
 let naive rng ~period : Exec.policy =
-  let decide _tid evs =
+  let decide _tid (s : Vm.sink) =
     let switch = ref false in
-    List.iter
-      (fun ev ->
-        match ev with
-        | Vm.Eaccess a when Trace.is_shared a ->
-            if Random.State.int rng period = 0 then switch := true
-        | _ -> ())
-      evs;
+    for k = 0 to s.Vm.sk_n_acc - 1 do
+      if Trace.is_shared_at ~addr:s.Vm.sk_acc_addr.(k) ~sp:s.Vm.sk_acc_sp.(k)
+      then if Random.State.int rng period = 0 then switch := true
+    done;
     !switch
   in
   { Exec.first = (if Random.State.bool rng then 1 else 0); decide }

@@ -20,9 +20,13 @@ type access = {
 }
 
 (* Snowboard's shared-access filter (section 4.1.1): only kernel-space,
-   non-stack accesses are candidates for inter-thread communication. *)
-let is_shared a =
-  Layout.is_kernel a.addr && not (Layout.in_stack_of_sp a.sp a.addr)
+   non-stack accesses are candidates for inter-thread communication.
+   [is_shared_at] is the raw-field form, so the executor's sink path can
+   filter without materialising an access record. *)
+let is_shared_at ~addr ~sp =
+  Layout.is_kernel addr && not (Layout.in_stack_of_sp sp addr)
+
+let is_shared a = is_shared_at ~addr:a.addr ~sp:a.sp
 
 let overlaps a b =
   a.addr < b.addr + b.size && b.addr < a.addr + a.size

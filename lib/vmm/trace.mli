@@ -23,6 +23,10 @@ val is_shared : access -> bool
 (** Snowboard's shared-access filter: kernel-space and outside the 8 KiB
     aligned stack derived from the live stack pointer. *)
 
+val is_shared_at : addr:int -> sp:int -> bool
+(** [is_shared] on raw fields, for consumers (the sink execution path)
+    that filter before materialising an access record. *)
+
 val overlaps : access -> access -> bool
 (** Do the byte ranges of the two accesses intersect? *)
 

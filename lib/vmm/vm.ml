@@ -18,6 +18,7 @@ module Log = (val Logs.src_log src : Logs.LOG)
    costs nothing measurable per instruction. *)
 let m_instructions = Obs.Metrics.counter "snowboard.vmm/instructions_retired"
 let m_accesses = Obs.Metrics.counter "snowboard.vmm/accesses_traced"
+let m_events_sunk = Obs.Metrics.counter "snowboard.vmm/events_sunk"
 let m_snapshot_saves = Obs.Metrics.counter "snowboard.vmm/snapshot_saves"
 let m_snapshot_restores = Obs.Metrics.counter "snowboard.vmm/snapshot_restores"
 
@@ -56,6 +57,12 @@ let kpages = Layout.kmem_size lsr page_bits
 let upages = Layout.user_size lsr page_bits
 let num_pages = kpages + (Layout.max_threads * upages)
 
+(* Direct-mapped cache in front of the coverage table: recording an
+   already-known edge (the common case - loop backedges, repeated calls)
+   must not pay a Hashtbl lookup per branch.  8192 slots of one tagged
+   int each (64 KiB per VM). *)
+let edge_cache_slots = 8192
+
 (* Snapshot identities: a restore may only take the dirty-page shortcut
    against the exact snapshot the VM last synchronized with. *)
 let snap_ids = Atomic.make 0
@@ -74,10 +81,16 @@ type t = {
   mutable console : string list;  (* reversed *)
   mutable panicked : bool;
   coverage : (int, unit) Hashtbl.t;
+  edge_cache : int array;  (* direct-mapped filter in front of [coverage] *)
+  mutable cov_gen : int;  (* generation tag validating [edge_cache] entries *)
+  mutable edge_log : int array;  (* keys inserted via [record_edge_fast] *)
+  mutable n_edge_log : int;
   mutable steps : int;
   mutable accesses : int;  (* traced accesses since creation *)
+  mutable events_sunk : int;  (* events written into caller sinks *)
   mutable steps_flushed : int;  (* already forwarded to the registry *)
   mutable accesses_flushed : int;
+  mutable events_sunk_flushed : int;
   mutable tracking : bool;  (* dirty-page tracking enabled *)
   mutable last_snap : int;  (* snap id the memory is delta-tracked against *)
   dirty : Bytes.t;  (* one flag byte per page *)
@@ -104,10 +117,16 @@ let create image =
     console = [];
     panicked = false;
     coverage = Hashtbl.create 4096;
+    edge_cache = Array.make edge_cache_slots (-1);
+    cov_gen = 0;
+    edge_log = Array.make 1024 0;
+    n_edge_log = 0;
     steps = 0;
     accesses = 0;
+    events_sunk = 0;
     steps_flushed = 0;
     accesses_flushed = 0;
+    events_sunk_flushed = 0;
     tracking = Atomic.get tracking_default;
     last_snap = -1;
     dirty = Bytes.make num_pages '\000';
@@ -158,8 +177,10 @@ let mark_write t tid addr size =
 let flush_stats t =
   Obs.Metrics.add m_instructions (t.steps - t.steps_flushed);
   Obs.Metrics.add m_accesses (t.accesses - t.accesses_flushed);
+  Obs.Metrics.add m_events_sunk (t.events_sunk - t.events_sunk_flushed);
   t.steps_flushed <- t.steps;
-  t.accesses_flushed <- t.accesses
+  t.accesses_flushed <- t.accesses;
+  t.events_sunk_flushed <- t.events_sunk
 
 (* Snapshots copy all guest-visible state: kernel memory, user memories,
    vCPU registers and modes, console and panic flag.  Coverage and the
@@ -304,21 +325,99 @@ let mem_write t tid addr size v =
 let peek = mem_read
 let poke = mem_write
 
+(* Coverage keys pack (from_pc, to_pc) into one int, 24 bits per side.
+   Both sides must fit or distinct edges alias under the packing (only
+   [to_pc] used to be masked, so an out-of-range [from_pc] silently bled
+   into the other half).  An out-of-range pc is not a code location -
+   e.g. a Ret through a corrupted stack slot - so such edges are dropped
+   rather than recorded under a wrong key. *)
+let edge_pc_max = 0xffffff
+
 let record_edge t from_pc to_pc =
-  Hashtbl.replace t.coverage ((from_pc lsl 24) lor (to_pc land 0xffffff)) ()
+  if
+    from_pc >= 0 && from_pc <= edge_pc_max && to_pc >= 0 && to_pc <= edge_pc_max
+  then Hashtbl.replace t.coverage ((from_pc lsl 24) lor to_pc) ()
+
+let edge_log_push t key =
+  let n = t.n_edge_log in
+  if n = Array.length t.edge_log then begin
+    let bigger = Array.make (2 * n) 0 in
+    Array.blit t.edge_log 0 bigger 0 n;
+    t.edge_log <- bigger
+  end;
+  t.edge_log.(n) <- key;
+  t.n_edge_log <- n + 1
+
+(* [record_edge] through the edge cache.  The tag packs the 48-bit edge
+   key with the current coverage generation, so a cache hit proves the
+   edge entered [t.coverage] after the last [reset_coverage] and the
+   Hashtbl lookup can be skipped; collisions and first touches fall
+   through.  A genuinely new edge is also appended to [edge_log], which
+   lets [coverage_edges] skip the O(buckets) table fold when the whole
+   run went through this path.  Used by the sink interpreter; the legacy
+   [step] keeps the uncached [record_edge] as the baseline. *)
+let record_edge_fast t from_pc to_pc =
+  if
+    from_pc >= 0 && from_pc <= edge_pc_max && to_pc >= 0 && to_pc <= edge_pc_max
+  then begin
+    let key = (from_pc lsl 24) lor to_pc in
+    let tagged = key lor (t.cov_gen lsl 48) in
+    let slot = (key * 0x2545F4914F6CDD1D) lsr 49 land (edge_cache_slots - 1) in
+    if t.edge_cache.(slot) <> tagged then begin
+      if not (Hashtbl.mem t.coverage key) then begin
+        Hashtbl.replace t.coverage key ();
+        edge_log_push t key
+      end;
+      t.edge_cache.(slot) <- tagged
+    end
+  end
 
 let coverage_size t = Hashtbl.length t.coverage
 
+(* Covered edges, sorted by (from, to).  The log holds exactly the
+   distinct keys [record_edge_fast] inserted since the last reset, so
+   when its length matches the table every edge went through the fast
+   path and the table fold (O(buckets), dominated by empty buckets on
+   short runs) is skipped.  Both sources sort to the identical list:
+   the packed key orders exactly like the pair. *)
 let coverage_edges t =
-  Hashtbl.fold (fun k () acc -> (k lsr 24, k land 0xffffff) :: acc) t.coverage []
+  let n = Hashtbl.length t.coverage in
+  let keys =
+    if t.n_edge_log = n then Array.sub t.edge_log 0 n
+    else begin
+      let a = Array.make n 0 in
+      let i = ref 0 in
+      Hashtbl.iter
+        (fun k () ->
+          a.(!i) <- k;
+          incr i)
+        t.coverage;
+      a
+    end
+  in
+  Array.sort Int.compare keys;
+  Array.fold_right (fun k acc -> (k lsr 24, k land 0xffffff) :: acc) keys []
 
-let reset_coverage t = Hashtbl.reset t.coverage
+(* Bumping the generation invalidates every cache entry at once; on the
+   (rare) 15-bit wrap the slots are cleared so stale tags from 32768
+   resets ago can never validate again. *)
+let reset_coverage t =
+  Hashtbl.reset t.coverage;
+  t.n_edge_log <- 0;
+  if t.cov_gen >= 0x7fff then begin
+    t.cov_gen <- 0;
+    Array.fill t.edge_cache 0 edge_cache_slots (-1)
+  end
+  else t.cov_gen <- t.cov_gen + 1
 
 let steps t = t.steps
 
 (* A digest of all guest-visible state (the exact set a snapshot copies),
-   used by tests to prove dirty-page restores observationally identical
-   to full-copy restores. *)
+   used by tests to prove optimised execution paths observationally
+   identical to their oracles.  Every variable-length component is
+   delimited unambiguously: registers are comma-separated (r0=1,r1=23
+   must not collide with r0=12,r1=3) and console lines are
+   length-prefixed (["ab"] must not collide with ["a"; "b"]). *)
 let fingerprint t =
   let mode_tag = function Kernel -> 0 | User -> 1 | Dead -> 2 in
   let buf = Buffer.create (Layout.kmem_size + 1024) in
@@ -326,10 +425,19 @@ let fingerprint t =
   Array.iter (Buffer.add_bytes buf) t.umem;
   Array.iter
     (fun c ->
-      Array.iter (fun r -> Buffer.add_string buf (string_of_int r)) c.regs;
+      Array.iter
+        (fun r ->
+          Buffer.add_string buf (string_of_int r);
+          Buffer.add_char buf ',')
+        c.regs;
       Buffer.add_string buf (Printf.sprintf "|%d|%d;" c.pc (mode_tag c.mode)))
     t.cpus;
-  List.iter (fun l -> Buffer.add_string buf l) t.console;
+  List.iter
+    (fun l ->
+      Buffer.add_string buf (string_of_int (String.length l));
+      Buffer.add_char buf ':';
+      Buffer.add_string buf l)
+    t.console;
   Buffer.add_string buf (if t.panicked then "P" else "-");
   Digest.to_hex (Digest.bytes (Buffer.to_bytes buf))
 
@@ -400,7 +508,14 @@ let access t tid c ~addr ~size ~kind ~value ~atomic =
 
 (* Execute one instruction on vCPU [tid]; returns the events produced.
    A data fault kills the thread and reports the same console lines a real
-   kernel oops would produce, which is what the console checker greps. *)
+   kernel oops would produce, which is what the console checker greps.
+
+   This list-returning interpreter is the *oracle*: the allocation-free
+   sink interpreter below ([exec_sink]/[step_sink]/[run_block]) must stay
+   observationally identical to it, and the equivalence is proved by
+   qcheck over random programs (the same role [restore_full] plays for
+   the dirty-page restore).  Any change to guest semantics must be made
+   to both. *)
 let step t tid =
   let c = t.cpus.(tid) in
   if c.mode <> Kernel then invalid_arg "vm: stepping a non-kernel thread";
@@ -559,3 +674,462 @@ let step t tid =
     c.mode <- Dead;
     Log.debug (fun m -> m "vCPU %d fault at pc %d (%s): %s" tid pc fn line);
     [ Efault addr; Econsole line; Epanic line ]
+
+(* ------------------------------------------------------------------ *)
+(* The zero-allocation event sink.                                     *)
+
+(* [step] allocates an event list (plus a Trace.access record per memory
+   instruction) for every instruction retired - the dominant cost of the
+   interpreter now that snapshot restore is cheap.  The sink is a
+   caller-owned mutable frame the interpreter writes into instead: the
+   executor allocates one per run and reads fields straight out of it,
+   so the steady state allocates nothing per instruction.
+
+   An instruction produces at most two memory accesses (Cas and Faa:
+   read then write), at most one control event of each remaining kind,
+   and the event ordering within one instruction is fixed, so parallel
+   arrays of capacity two plus one field per control event represent any
+   event list [step] can return.  [sink_events] materialises the legacy
+   list (in the legacy order) for tests and slow consumers. *)
+
+type sink = {
+  mutable sk_steps : int;  (* instructions retired into this sink *)
+  mutable sk_n_acc : int;  (* memory accesses recorded *)
+  sk_acc_pc : int array;
+  sk_acc_addr : int array;
+  sk_acc_size : int array;
+  sk_acc_write : bool array;
+  sk_acc_value : int array;
+  sk_acc_atomic : bool array;
+  sk_acc_sp : int array;
+  mutable sk_call : int;  (* entered the function at this pc, or -1 *)
+  mutable sk_return : bool;  (* returned from the current function *)
+  mutable sk_ret_to_user : bool;
+  mutable sk_pause : bool;
+  mutable sk_halt : bool;
+  mutable sk_panic : bool;
+  mutable sk_has_fault : bool;
+  mutable sk_fault_addr : int;
+  mutable sk_has_console : bool;
+  mutable sk_console : string;  (* console line; also the panic line *)
+  mutable sk_lock : int;  (* lock address, or -1 *)
+  mutable sk_lock_acq : bool;  (* acquire (true) or release *)
+  mutable sk_rcu : [ `No | `Lock | `Unlock ];
+}
+
+type stop_reason =
+  | Rnone  (* only plain instructions retired; nothing trace-relevant *)
+  | Revent  (* trace-relevant events in the sink; vCPU still runnable *)
+  | Rret_to_user  (* the current system call returned to user space *)
+  | Rdead  (* halt, panic or fault: the vCPU left kernel mode *)
+
+let max_sink_accesses = 2
+
+(* The access arrays hold more than one instruction's worth so that
+   [run_block] can batch across loads and stores: a block only has to
+   stop when the next instruction might not fit ([sink_capacity -
+   max_sink_accesses] entries used). *)
+let sink_capacity = 32
+
+let make_sink () =
+  {
+    sk_steps = 0;
+    sk_n_acc = 0;
+    sk_acc_pc = Array.make sink_capacity 0;
+    sk_acc_addr = Array.make sink_capacity 0;
+    sk_acc_size = Array.make sink_capacity 0;
+    sk_acc_write = Array.make sink_capacity false;
+    sk_acc_value = Array.make sink_capacity 0;
+    sk_acc_atomic = Array.make sink_capacity false;
+    sk_acc_sp = Array.make sink_capacity 0;
+    sk_call = -1;
+    sk_return = false;
+    sk_ret_to_user = false;
+    sk_pause = false;
+    sk_halt = false;
+    sk_panic = false;
+    sk_has_fault = false;
+    sk_fault_addr = 0;
+    sk_has_console = false;
+    sk_console = "";
+    sk_lock = -1;
+    sk_lock_acq = false;
+    sk_rcu = `No;
+  }
+
+let sink_clear s =
+  s.sk_steps <- 0;
+  s.sk_n_acc <- 0;
+  s.sk_call <- -1;
+  s.sk_return <- false;
+  s.sk_ret_to_user <- false;
+  s.sk_pause <- false;
+  s.sk_halt <- false;
+  s.sk_panic <- false;
+  s.sk_has_fault <- false;
+  s.sk_fault_addr <- 0;
+  s.sk_has_console <- false;
+  s.sk_console <- "";
+  s.sk_lock <- -1;
+  s.sk_lock_acq <- false;
+  s.sk_rcu <- `No
+
+(* Materialise access [i] as a Trace.access record (slow path: tests,
+   profiling result lists). *)
+let sink_access s ~thread i =
+  if i < 0 || i >= s.sk_n_acc then invalid_arg "vm: sink access index";
+  {
+    Trace.thread;
+    pc = s.sk_acc_pc.(i);
+    addr = s.sk_acc_addr.(i);
+    size = s.sk_acc_size.(i);
+    kind = (if s.sk_acc_write.(i) then Trace.Write else Trace.Read);
+    value = s.sk_acc_value.(i);
+    atomic = s.sk_acc_atomic.(i);
+    sp = s.sk_acc_sp.(i);
+  }
+
+(* Push a test access into a sink (for exercising sink consumers -
+   policies, observers - without running guest code). *)
+let sink_push_access s (a : Trace.access) =
+  if s.sk_n_acc >= sink_capacity then invalid_arg "vm: sink access overflow";
+  let i = s.sk_n_acc in
+  s.sk_acc_pc.(i) <- a.Trace.pc;
+  s.sk_acc_addr.(i) <- a.Trace.addr;
+  s.sk_acc_size.(i) <- a.Trace.size;
+  s.sk_acc_write.(i) <- a.Trace.kind = Trace.Write;
+  s.sk_acc_value.(i) <- a.Trace.value;
+  s.sk_acc_atomic.(i) <- a.Trace.atomic;
+  s.sk_acc_sp.(i) <- a.Trace.sp;
+  s.sk_n_acc <- i + 1
+
+(* The legacy event list for this sink, in the order [step] would have
+   returned it.  The order is fixed per instruction kind: accesses come
+   first (a Call's stack write before its Ecall, a Ret's stack read
+   before Ereturn/Eret_to_user), a fault's Efault precedes its console
+   line which precedes the panic, and the remaining events are mutually
+   exclusive singletons. *)
+let sink_events s ~thread =
+  let accs = List.init s.sk_n_acc (fun i -> Eaccess (sink_access s ~thread i)) in
+  let tail = [] in
+  let tail = (match s.sk_rcu with `No -> tail | `Lock -> Ercu `Lock :: tail | `Unlock -> Ercu `Unlock :: tail) in
+  let tail = if s.sk_lock >= 0 then Elock ((if s.sk_lock_acq then `Acq else `Rel), s.sk_lock) :: tail else tail in
+  let tail = if s.sk_halt then Ehalt :: tail else tail in
+  let tail = if s.sk_pause then Epause :: tail else tail in
+  let tail = if s.sk_ret_to_user then Eret_to_user :: tail else tail in
+  let tail = if s.sk_return then Ereturn :: tail else tail in
+  let tail = if s.sk_panic then Epanic s.sk_console :: tail else tail in
+  let tail = if s.sk_has_console then Econsole s.sk_console :: tail else tail in
+  let tail = if s.sk_has_fault then Efault s.sk_fault_addr :: tail else tail in
+  let tail = if s.sk_call >= 0 then Ecall s.sk_call :: tail else tail in
+  accs @ tail
+
+(* Record a memory access into the sink; reads [c.pc] and the stack
+   pointer at call time, exactly as [access] does (some instructions
+   update them before the event is created - Faa, Push and Pop record
+   the *next* pc, Pop records the popped sp - and those quirks are
+   baked into profiles and PMCs, so they must be reproduced). *)
+let sink_acc t c s ~addr ~size ~write ~value ~atomic =
+  t.accesses <- t.accesses + 1;
+  t.events_sunk <- t.events_sunk + 1;
+  let i = s.sk_n_acc in
+  s.sk_acc_pc.(i) <- c.pc;
+  s.sk_acc_addr.(i) <- addr;
+  s.sk_acc_size.(i) <- size;
+  s.sk_acc_write.(i) <- write;
+  s.sk_acc_value.(i) <- value;
+  s.sk_acc_atomic.(i) <- atomic;
+  s.sk_acc_sp.(i) <- c.regs.(Isa.sp);
+  s.sk_n_acc <- i + 1
+
+(* One instruction into [sink], which the caller has cleared (directly
+   or via [step_sink]/[run_block]).  A faithful transcription of [step]:
+   every memory operation, register update and event-creation point
+   happens in the same order, so the sunk events match the legacy list
+   field for field. *)
+let exec_traced t tid sink c pc i =
+  t.steps <- t.steps + 1;
+  sink.sk_steps <- sink.sk_steps + 1;
+  let next = pc + 1 in
+  try
+    match i with
+    | Isa.Li (r, v) ->
+        c.regs.(r) <- v;
+        c.pc <- next;
+        Rnone
+    | Isa.Mov (d, s) ->
+        c.regs.(d) <- c.regs.(s);
+        c.pc <- next;
+        Rnone
+    | Isa.Bin (op, d, a, o) ->
+        c.regs.(d) <- Isa.eval_binop op c.regs.(a) (operand c o);
+        c.pc <- next;
+        Rnone
+    | Isa.Load { dst; base; off; size; atomic } ->
+        let addr = c.regs.(base) + off in
+        let v = mem_read t tid addr size in
+        sink_acc t c sink ~addr ~size ~write:false ~value:v ~atomic;
+        c.regs.(dst) <- v;
+        c.pc <- next;
+        Revent
+    | Isa.Store { base; off; src; size; atomic } ->
+        let addr = c.regs.(base) + off in
+        let v = operand c src land size_mask size in
+        mem_write t tid addr size v;
+        sink_acc t c sink ~addr ~size ~write:true ~value:v ~atomic;
+        c.pc <- next;
+        Revent
+    | Isa.Cas { dst; base; off; expected; desired } ->
+        let addr = c.regs.(base) + off in
+        let old = mem_read t tid addr 8 in
+        sink_acc t c sink ~addr ~size:8 ~write:false ~value:old ~atomic:true;
+        if old = operand c expected then begin
+          let v = operand c desired in
+          mem_write t tid addr 8 v;
+          c.regs.(dst) <- 1;
+          c.pc <- next;
+          (* the write access records the already-advanced pc, like the
+             legacy list whose elements are built after [c.pc <- next] *)
+          sink_acc t c sink ~addr ~size:8 ~write:true ~value:v ~atomic:true
+        end
+        else begin
+          c.regs.(dst) <- 0;
+          c.pc <- next
+        end;
+        Revent
+    | Isa.Faa { dst; base; off; delta } ->
+        let addr = c.regs.(base) + off in
+        let old = mem_read t tid addr 8 in
+        let v = old + operand c delta in
+        mem_write t tid addr 8 v;
+        c.regs.(dst) <- old;
+        c.pc <- next;
+        sink_acc t c sink ~addr ~size:8 ~write:false ~value:old ~atomic:true;
+        sink_acc t c sink ~addr ~size:8 ~write:true ~value:v ~atomic:true;
+        Revent
+    | Isa.Br (cond, r, o, target) ->
+        let taken = Isa.eval_cond cond c.regs.(r) (operand c o) in
+        let dest = if taken then target else next in
+        record_edge_fast t pc dest;
+        c.pc <- dest;
+        Rnone
+    | Isa.Jmp target ->
+        record_edge_fast t pc target;
+        c.pc <- target;
+        Rnone
+    | Isa.Call target ->
+        let nsp = c.regs.(Isa.sp) - 8 in
+        mem_write t tid nsp 8 next;
+        c.regs.(Isa.sp) <- nsp;
+        sink_acc t c sink ~addr:nsp ~size:8 ~write:true ~value:next ~atomic:false;
+        record_edge_fast t pc target;
+        c.pc <- target;
+        sink.sk_call <- target;
+        t.events_sunk <- t.events_sunk + 1;
+        Revent
+    | Isa.Callind r ->
+        let target = c.regs.(r) in
+        if target < 0 || target >= Array.length t.image.Asm.code then
+          raise (Fault target);
+        let nsp = c.regs.(Isa.sp) - 8 in
+        mem_write t tid nsp 8 next;
+        c.regs.(Isa.sp) <- nsp;
+        sink_acc t c sink ~addr:nsp ~size:8 ~write:true ~value:next ~atomic:false;
+        record_edge_fast t pc target;
+        c.pc <- target;
+        sink.sk_call <- target;
+        t.events_sunk <- t.events_sunk + 1;
+        Revent
+    | Isa.Ret ->
+        let spv = c.regs.(Isa.sp) in
+        let target = mem_read t tid spv 8 in
+        sink_acc t c sink ~addr:spv ~size:8 ~write:false ~value:target
+          ~atomic:false;
+        c.regs.(Isa.sp) <- spv + 8;
+        t.events_sunk <- t.events_sunk + 1;
+        if target = ret_sentinel then begin
+          c.mode <- User;
+          sink.sk_ret_to_user <- true;
+          Rret_to_user
+        end
+        else begin
+          record_edge_fast t pc target;
+          c.pc <- target;
+          sink.sk_return <- true;
+          Revent
+        end
+    | Isa.Push r ->
+        let nsp = c.regs.(Isa.sp) - 8 in
+        let v = c.regs.(r) in
+        mem_write t tid nsp 8 v;
+        c.regs.(Isa.sp) <- nsp;
+        c.pc <- next;
+        sink_acc t c sink ~addr:nsp ~size:8 ~write:true ~value:v ~atomic:false;
+        Revent
+    | Isa.Pop r ->
+        let spv = c.regs.(Isa.sp) in
+        let v = mem_read t tid spv 8 in
+        c.regs.(r) <- v;
+        c.regs.(Isa.sp) <- spv + 8;
+        c.pc <- next;
+        sink_acc t c sink ~addr:spv ~size:8 ~write:false ~value:v ~atomic:false;
+        Revent
+    | Isa.Pause ->
+        c.pc <- next;
+        sink.sk_pause <- true;
+        t.events_sunk <- t.events_sunk + 1;
+        Revent
+    | Isa.Halt ->
+        c.mode <- Dead;
+        sink.sk_halt <- true;
+        t.events_sunk <- t.events_sunk + 1;
+        Rdead
+    | Isa.Hyper h -> (
+        c.pc <- next;
+        let args = [| c.regs.(0); c.regs.(1); c.regs.(2) |] in
+        match h with
+        | Isa.Hconsole id ->
+            let line = format_msg t.image.Asm.msgs.(id) args in
+            add_console t line;
+            sink.sk_has_console <- true;
+            sink.sk_console <- line;
+            t.events_sunk <- t.events_sunk + 1;
+            Revent
+        | Isa.Hpanic id ->
+            let line = format_msg t.image.Asm.msgs.(id) args in
+            add_console t line;
+            t.panicked <- true;
+            c.mode <- Dead;
+            Log.debug (fun m -> m "vCPU %d panic at pc %d: %s" tid pc line);
+            sink.sk_has_console <- true;
+            sink.sk_console <- line;
+            sink.sk_panic <- true;
+            t.events_sunk <- t.events_sunk + 2;
+            Rdead
+        | Isa.Hlock_acq ->
+            sink.sk_lock <- c.regs.(0);
+            sink.sk_lock_acq <- true;
+            t.events_sunk <- t.events_sunk + 1;
+            Revent
+        | Isa.Hlock_rel ->
+            sink.sk_lock <- c.regs.(0);
+            sink.sk_lock_acq <- false;
+            t.events_sunk <- t.events_sunk + 1;
+            Revent
+        | Isa.Hrcu_lock ->
+            sink.sk_rcu <- `Lock;
+            t.events_sunk <- t.events_sunk + 1;
+            Revent
+        | Isa.Hrcu_unlock ->
+            sink.sk_rcu <- `Unlock;
+            t.events_sunk <- t.events_sunk + 1;
+            Revent)
+  with Fault addr ->
+    let fn = Asm.func_name t.image pc in
+    let line =
+      if addr >= 0 && addr < Layout.null_guard_end then
+        Printf.sprintf "BUG: kernel NULL pointer dereference, address: 0x%04x, ip: %s" addr fn
+      else Printf.sprintf "BUG: unable to handle page fault for address: 0x%x, ip: %s" addr fn
+    in
+    add_console t line;
+    t.panicked <- true;
+    c.mode <- Dead;
+    Log.debug (fun m -> m "vCPU %d fault at pc %d (%s): %s" tid pc fn line);
+    sink.sk_has_fault <- true;
+    sink.sk_fault_addr <- addr;
+    sink.sk_has_console <- true;
+    sink.sk_console <- line;
+    sink.sk_panic <- true;
+    t.events_sunk <- t.events_sunk + 3;
+    Rdead
+
+(* One instruction into [sink]: fetch, then execute through
+   [exec_traced].  [run_block] shares [exec_traced] so a trace-relevant
+   instruction is decoded exactly once on either path. *)
+let exec_sink t tid sink =
+  let c = t.cpus.(tid) in
+  if c.mode <> Kernel then invalid_arg "vm: stepping a non-kernel thread";
+  let pc = c.pc in
+  if pc < 0 || pc >= Array.length t.image.Asm.code then
+    invalid_arg (Printf.sprintf "vm: pc out of range: %d" pc);
+  exec_traced t tid sink c pc t.image.Asm.code.(pc)
+
+let step_sink t ~tid sink =
+  sink_clear sink;
+  exec_sink t tid sink
+
+(* Execute up to [quantum] instructions on vCPU [tid], running plain
+   instructions (Li/Mov/Bin/Br/Jmp - the ones [step] returns no events
+   for) in a tight loop, accumulating memory accesses from loads, stores
+   and atomics into the sink as they come, and stopping at the first
+   instruction that produced any *other* event (or when the access
+   arrays are nearly full).  [sk_steps] counts everything retired, so
+   block execution is invisible to instruction budgets.  Returns [Rnone]
+   when the quantum expired on plain instructions only. *)
+let run_block t ~tid ~quantum sink =
+  sink_clear sink;
+  let c = t.cpus.(tid) in
+  if c.mode <> Kernel then invalid_arg "vm: stepping a non-kernel thread";
+  let code = t.image.Asm.code in
+  let len = Array.length code in
+  let remaining = ref quantum in
+  let result = ref Rnone in
+  let stop = ref false in
+  while (not !stop) && !remaining > 0 do
+    let pc = c.pc in
+    if pc < 0 || pc >= len then
+      invalid_arg (Printf.sprintf "vm: pc out of range: %d" pc);
+    (match code.(pc) with
+    | Isa.Li (r, v) ->
+        t.steps <- t.steps + 1;
+        sink.sk_steps <- sink.sk_steps + 1;
+        c.regs.(r) <- v;
+        c.pc <- pc + 1
+    | Isa.Mov (d, s) ->
+        t.steps <- t.steps + 1;
+        sink.sk_steps <- sink.sk_steps + 1;
+        c.regs.(d) <- c.regs.(s);
+        c.pc <- pc + 1
+    | Isa.Bin (op, d, a, o) ->
+        t.steps <- t.steps + 1;
+        sink.sk_steps <- sink.sk_steps + 1;
+        c.regs.(d) <- Isa.eval_binop op c.regs.(a) (operand c o);
+        c.pc <- pc + 1
+    | Isa.Br (cond, r, o, target) ->
+        t.steps <- t.steps + 1;
+        sink.sk_steps <- sink.sk_steps + 1;
+        let dest =
+          if Isa.eval_cond cond c.regs.(r) (operand c o) then target else pc + 1
+        in
+        record_edge_fast t pc dest;
+        c.pc <- dest
+    | Isa.Jmp target ->
+        t.steps <- t.steps + 1;
+        sink.sk_steps <- sink.sk_steps + 1;
+        record_edge_fast t pc target;
+        c.pc <- target
+    | i ->
+        (* trace-relevant: execute through the shared core.  If the
+           instruction produced nothing but memory accesses (loads,
+           stores, atomics - the common case) and the sink still has
+           room for another instruction's worth, the block keeps going;
+           everything else - calls, returns, locks, console output,
+           pause, or leaving kernel mode - needs its singleton sink
+           field or the caller's attention, so the block ends. *)
+        result := exec_traced t tid sink c pc i;
+        if
+          not
+            (!result = Revent
+            && sink.sk_call < 0
+            && (not sink.sk_return)
+            && (not sink.sk_pause)
+            && (not sink.sk_has_console)
+            && sink.sk_lock < 0
+            && sink.sk_rcu = `No
+            && sink.sk_n_acc + max_sink_accesses <= sink_capacity)
+        then stop := true);
+    decr remaining
+  done;
+  !result
+
+let events_sunk t = t.events_sunk

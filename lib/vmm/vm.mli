@@ -65,7 +65,9 @@ val set_default_dirty_tracking : bool -> unit
 
 val fingerprint : t -> string
 (** Hex digest of all guest-visible state (exactly what a snapshot
-    copies): memories, vCPU registers/pc/mode, console, panic flag. *)
+    copies): memories, vCPU registers/pc/mode, console, panic flag.
+    Registers and console lines are serialised with unambiguous
+    separators, so distinct states never digest identically. *)
 
 val start_call : t -> int -> int -> int list -> unit
 (** [start_call t tid entry args] prepares vCPU [tid] to execute kernel
@@ -75,7 +77,96 @@ val start_call : t -> int -> int -> int list -> unit
 
 val step : t -> int -> event list
 (** Execute one instruction on the given vCPU.  Raises [Invalid_argument]
-    if the vCPU is not in kernel mode. *)
+    if the vCPU is not in kernel mode.
+
+    This is the legacy list-returning interpreter, kept as the
+    observational-equivalence oracle and benchmark baseline for the
+    allocation-free {!step_sink}/{!run_block} paths below (the same role
+    {!restore_full} plays for the dirty-page restore). *)
+
+(** {2 Zero-allocation event sink}
+
+    [step] heap-allocates an event list (plus a [Trace.access] record per
+    memory instruction) for every instruction retired.  The sink is a
+    caller-owned mutable frame the interpreter writes into instead: an
+    executor allocates one per run and reads fields straight out of it.
+    An instruction produces at most two memory accesses (Cas/Faa: read
+    then write) and at most one control event of each kind, so the fixed
+    frame below represents any event list [step] can return.  The access
+    arrays are larger than one instruction needs so that {!run_block}
+    can batch consecutive loads and stores into one frame. *)
+
+type sink = {
+  mutable sk_steps : int;  (** instructions retired into this sink *)
+  mutable sk_n_acc : int;  (** memory accesses recorded *)
+  sk_acc_pc : int array;
+  sk_acc_addr : int array;
+  sk_acc_size : int array;
+  sk_acc_write : bool array;
+  sk_acc_value : int array;
+  sk_acc_atomic : bool array;
+  sk_acc_sp : int array;
+  mutable sk_call : int;  (** entered the function at this pc, or -1 *)
+  mutable sk_return : bool;  (** returned from the current function *)
+  mutable sk_ret_to_user : bool;
+  mutable sk_pause : bool;
+  mutable sk_halt : bool;
+  mutable sk_panic : bool;
+  mutable sk_has_fault : bool;
+  mutable sk_fault_addr : int;
+  mutable sk_has_console : bool;
+  mutable sk_console : string;  (** console line; also the panic line *)
+  mutable sk_lock : int;  (** lock address, or -1 *)
+  mutable sk_lock_acq : bool;  (** acquire (true) or release *)
+  mutable sk_rcu : [ `No | `Lock | `Unlock ];
+}
+
+type stop_reason =
+  | Rnone  (** only plain instructions retired; nothing trace-relevant *)
+  | Revent  (** trace-relevant events in the sink; vCPU still runnable *)
+  | Rret_to_user  (** the current system call returned to user space *)
+  | Rdead  (** halt, panic or fault: the vCPU left kernel mode *)
+
+val sink_capacity : int
+(** Capacity of the sink's access arrays: more than one instruction's
+    worth, so {!run_block} can batch accesses across consecutive loads
+    and stores. *)
+
+val make_sink : unit -> sink
+
+val sink_clear : sink -> unit
+
+val sink_access : sink -> thread:int -> int -> Trace.access
+(** Materialise access [i] of the sink as a record (slow path: result
+    lists, tests).  Raises [Invalid_argument] if [i >= sk_n_acc]. *)
+
+val sink_push_access : sink -> Trace.access -> unit
+(** Append a access to the sink, for exercising sink consumers (policies,
+    observers) without running guest code. *)
+
+val sink_events : sink -> thread:int -> event list
+(** The legacy event list for this sink, in the exact order {!step} would
+    have returned it; the bridge tests and slow consumers use to compare
+    the two interpreters. *)
+
+val step_sink : t -> tid:int -> sink -> stop_reason
+(** Clear the sink and execute one instruction into it.  Observationally
+    identical to {!step} (same guest state transition; the sunk events
+    materialise to the same list), without the per-step allocations. *)
+
+val run_block : t -> tid:int -> quantum:int -> sink -> stop_reason
+(** Clear the sink and execute up to [quantum] instructions, running
+    plain instructions (the ones {!step} returns no events for:
+    Li/Mov/Bin/Br/Jmp) in a tight loop, accumulating memory accesses
+    from loads, stores and atomics into the sink as they come, and
+    stopping at the first instruction that produced any other event
+    (call, return, lock, console line, pause, or leaving kernel mode) or
+    when the access arrays are nearly full.  The sink's accesses are in
+    execution order across the whole block; the singleton event fields
+    always belong to the final instruction.  [sk_steps] counts
+    everything retired, so block execution is invisible to instruction
+    budgets.  Returns [Rnone] when the quantum expired on plain
+    instructions only. *)
 
 val peek : t -> int -> int -> int -> int
 (** [peek t tid addr size] reads guest memory without tracing (host use). *)
@@ -100,10 +191,36 @@ val coverage_size : t -> int
 (** Number of distinct control-flow edges observed since the last reset. *)
 
 val coverage_edges : t -> (int * int) list
+(** The distinct [(from_pc, to_pc)] edges observed since the last reset,
+    sorted lexicographically. *)
+
+val record_edge : t -> int -> int -> unit
+(** [record_edge t from_pc to_pc] records a control-flow edge.  Both pcs
+    must fit in 24 bits (the packing width of a coverage key); an edge
+    with an out-of-range side is dropped rather than recorded under an
+    aliased key. *)
+
+val edge_pc_max : int
+(** The largest pc representable in a coverage-edge key (24 bits). *)
+
+val record_edge_fast : t -> int -> int -> unit
+(** {!record_edge} through a per-VM direct-mapped cache: a hit proves the
+    edge entered the coverage table after the last {!reset_coverage} and
+    skips the table lookup.  Same observable effect as {!record_edge}
+    (same edges, same bounds checks); the sink interpreter uses this,
+    the legacy {!step} keeps the uncached path. *)
 
 val reset_coverage : t -> unit
 
 val steps : t -> int
 (** Total instructions executed since creation. *)
+
+val events_sunk : t -> int
+(** Total events written into caller-owned sinks since creation (the
+    sink-path counterpart of the event lists [step] would have built). *)
+
+val add_console : t -> string -> unit
+(** Append a console line directly (host-side; tests use this to build
+    specific console states). *)
 
 val image : t -> Asm.image

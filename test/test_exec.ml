@@ -1,0 +1,257 @@
+(* Tests for the zero-allocation execution core: the sink/block
+   interpreter paths against the legacy [Vm.step] oracle, the shared-only
+   profiling runner and fast profile builder against the legacy pair,
+   the edge cache, and the fingerprint/edge-key regressions. *)
+
+module Vm = Vmm.Vm
+module Asm = Vmm.Asm
+module Isa = Vmm.Isa
+module Trace = Vmm.Trace
+module P = Fuzzer.Prog
+module Exec = Sched.Exec
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let env = lazy (Exec.make_env Kernel.Config.v5_12_rc3)
+
+(* ---------------- sink/block paths vs the Vm.step oracle ------------ *)
+
+(* Every sequential path must produce the identical result record AND
+   leave the VM in the identical state (fingerprint covers all
+   guest-visible state).  Random programs reach faults, console output,
+   locks and budget aborts. *)
+let prop_sink_block_equivalent =
+  QCheck.Test.make ~name:"sink and block paths match the Vm.step oracle"
+    ~count:60
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let env = Lazy.force env in
+      let prog = Fuzzer.Gen.generate (Random.State.make [| seed |]) in
+      let r_step = Exec.run_seq_step env ~tid:0 prog in
+      let fp_step = Vm.fingerprint env.Exec.vm in
+      let r_sink = Exec.run_seq_sink env ~tid:0 prog in
+      let fp_sink = Vm.fingerprint env.Exec.vm in
+      let r_block = Exec.run_seq env ~tid:0 prog in
+      let fp_block = Vm.fingerprint env.Exec.vm in
+      r_step = r_sink && r_step = r_block && fp_step = fp_sink
+      && fp_step = fp_block)
+
+(* The shared-only runner must equal the oracle with its access list
+   filtered (and no edges); the fast profile builder must equal the
+   oracle builder on the result. *)
+let prop_shared_profile_equivalent =
+  QCheck.Test.make
+    ~name:"shared runner + fast profile builder match the legacy pair"
+    ~count:60
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let env = Lazy.force env in
+      let prog = Fuzzer.Gen.generate (Random.State.make [| seed |]) in
+      let r_step = Exec.run_seq_step env ~tid:0 prog in
+      let r_shared = Exec.run_seq_shared env ~tid:0 prog in
+      let p_oracle = Core.Profile.of_accesses ~test_id:7 r_step.Exec.sq_accesses in
+      let p_fast = Core.Profile.of_shared ~test_id:7 r_shared.Exec.sq_accesses in
+      r_shared.Exec.sq_accesses
+      = List.filter Trace.is_shared r_step.Exec.sq_accesses
+      && r_shared.Exec.sq_edges = []
+      && r_shared.Exec.sq_console = r_step.Exec.sq_console
+      && r_shared.Exec.sq_panicked = r_step.Exec.sq_panicked
+      && r_shared.Exec.sq_retvals = r_step.Exec.sq_retvals
+      && r_shared.Exec.sq_steps = r_step.Exec.sq_steps
+      && p_oracle = p_fast)
+
+(* Lockstep: stepping one VM with [Vm.step] and its twin with
+   [Vm.step_sink], the sunk events must materialise to the legacy event
+   list instruction by instruction, not just in aggregate. *)
+let lockstep_syscalls =
+  [
+    (Kernel.Abi.sys_socket, [ Kernel.Abi.af_inet; 0 ]);
+    (Kernel.Abi.sys_msgget, [ 1 ]);
+    (Kernel.Abi.sys_msgget, [ 2 ]);
+    (Kernel.Abi.sys_open, [ 1; 0 ]);
+    (Kernel.Abi.sys_pipe, [] );
+  ]
+
+let test_lockstep_events () =
+  let e1 = Exec.make_env Kernel.Config.v5_12_rc3 in
+  let e2 = Exec.make_env Kernel.Config.v5_12_rc3 in
+  let sink = Vm.make_sink () in
+  List.iter
+    (fun (nr, args) ->
+      Vm.restore e1.Exec.vm e1.Exec.snap;
+      Vm.restore e2.Exec.vm e2.Exec.snap;
+      let start env =
+        Vm.start_call env.Exec.vm 0 env.Exec.kern.Kernel.syscall_entry args;
+        Vm.set_reg env.Exec.vm 0 Isa.r12 nr
+      in
+      start e1;
+      start e2;
+      let budget = ref 100_000 in
+      while Vm.cpu_mode e1.Exec.vm 0 = Vm.Kernel && !budget > 0 do
+        decr budget;
+        let evs = Vm.step e1.Exec.vm 0 in
+        ignore (Vm.step_sink e2.Exec.vm ~tid:0 sink);
+        checkb
+          (Printf.sprintf "events match at step (syscall %d)" nr)
+          true
+          (Vm.sink_events sink ~thread:0 = evs)
+      done;
+      checkb "twin VMs end in the same state" true
+        (Vm.fingerprint e1.Exec.vm = Vm.fingerprint e2.Exec.vm))
+    lockstep_syscalls
+
+(* [run_block] respects the quantum exactly: quantum 1 is per-instruction
+   stepping, and a block never retires more than the quantum. *)
+let test_block_quantum () =
+  let env = Lazy.force env in
+  Vm.restore env.Exec.vm env.Exec.snap;
+  Vm.start_call env.Exec.vm 0 env.Exec.kern.Kernel.syscall_entry [ 1; 0 ];
+  Vm.set_reg env.Exec.vm 0 Isa.r12 Kernel.Abi.sys_open;
+  let sink = Vm.make_sink () in
+  let steps = ref 0 in
+  while Vm.cpu_mode env.Exec.vm 0 = Vm.Kernel && !steps < 100_000 do
+    ignore (Vm.run_block env.Exec.vm ~tid:0 ~quantum:1 sink);
+    checki "quantum 1 retires exactly one instruction" 1 sink.Vm.sk_steps;
+    incr steps
+  done;
+  Vm.restore env.Exec.vm env.Exec.snap;
+  Vm.start_call env.Exec.vm 0 env.Exec.kern.Kernel.syscall_entry [ 1; 0 ];
+  Vm.set_reg env.Exec.vm 0 Isa.r12 Kernel.Abi.sys_open;
+  let total = ref 0 in
+  while Vm.cpu_mode env.Exec.vm 0 = Vm.Kernel && !total < 100_000 do
+    ignore (Vm.run_block env.Exec.vm ~tid:0 ~quantum:7 sink);
+    checkb "quantum bounds the block" true (sink.Vm.sk_steps <= 7);
+    total := !total + sink.Vm.sk_steps
+  done;
+  checki "same instruction count either way" !steps !total
+
+(* ---------------- fingerprint separator regressions ----------------- *)
+
+let tiny_vm () =
+  let a = Asm.create () in
+  Asm.func a "f" (fun () -> Asm.emit a Isa.Ret);
+  Vm.create (Asm.link a)
+
+let test_fingerprint_regs_unambiguous () =
+  (* r0=1,r1=23 vs r0=12,r1=3: same digit stream, different states *)
+  let v1 = tiny_vm () and v2 = tiny_vm () in
+  checkb "identical fresh VMs" true (Vm.fingerprint v1 = Vm.fingerprint v2);
+  Vm.set_reg v1 0 Isa.r0 1;
+  Vm.set_reg v1 0 Isa.r1 23;
+  Vm.set_reg v2 0 Isa.r0 12;
+  Vm.set_reg v2 0 Isa.r1 3;
+  checkb "register boundaries are delimited" false
+    (Vm.fingerprint v1 = Vm.fingerprint v2)
+
+let test_fingerprint_console_unambiguous () =
+  (* ["ab"] vs ["a"; "b"]: same bytes, different line structure *)
+  let v1 = tiny_vm () and v2 = tiny_vm () in
+  Vm.add_console v1 "ab";
+  Vm.add_console v2 "a";
+  Vm.add_console v2 "b";
+  checkb "console lines are length-prefixed" false
+    (Vm.fingerprint v1 = Vm.fingerprint v2)
+
+(* ---------------- edge keys and the edge cache ---------------------- *)
+
+let test_edge_key_boundaries () =
+  List.iter
+    (fun record ->
+      let vm = tiny_vm () in
+      Vm.reset_coverage vm;
+      (* the extreme in-range edge survives the key packing intact *)
+      record vm Vm.edge_pc_max Vm.edge_pc_max;
+      checkb "max edge roundtrips" true
+        (Vm.coverage_edges vm = [ (Vm.edge_pc_max, Vm.edge_pc_max) ]);
+      (* out-of-range on either side is dropped, not aliased *)
+      record vm (Vm.edge_pc_max + 1) 5;
+      record vm 5 (Vm.edge_pc_max + 1);
+      record vm (-1) 5;
+      record vm 5 (-1);
+      checki "out-of-range edges dropped" 1 (Vm.coverage_size vm))
+    [ Vm.record_edge; Vm.record_edge_fast ]
+
+let test_edge_cache_reset () =
+  (* a cached edge must not survive reset_coverage: if a stale cache hit
+     skipped the table insert, the edge would be lost after a reset *)
+  let vm = tiny_vm () in
+  Vm.reset_coverage vm;
+  Vm.record_edge_fast vm 3 4;
+  Vm.record_edge_fast vm 3 4;
+  checki "one edge, once" 1 (Vm.coverage_size vm);
+  Vm.reset_coverage vm;
+  checki "reset clears coverage" 0 (Vm.coverage_size vm);
+  Vm.record_edge_fast vm 3 4;
+  checki "re-recorded after reset" 1 (Vm.coverage_size vm);
+  checkb "and extractable" true (Vm.coverage_edges vm = [ (3, 4) ])
+
+let test_edges_sorted_and_mixed () =
+  (* both extraction sources (insertion log / table fold) must agree,
+     and the list is sorted *)
+  let vm = tiny_vm () in
+  Vm.reset_coverage vm;
+  Vm.record_edge_fast vm 9 1;
+  Vm.record_edge_fast vm 2 8;
+  Vm.record_edge_fast vm 2 3;
+  checkb "log path sorted" true (Vm.coverage_edges vm = [ (2, 3); (2, 8); (9, 1) ]);
+  (* a legacy insert invalidates the log; the fold path must return the
+     same sorted list *)
+  Vm.record_edge vm 1 1;
+  checkb "fold path sorted" true
+    (Vm.coverage_edges vm = [ (1, 1); (2, 3); (2, 8); (9, 1) ])
+
+(* ---------------- sink frame plumbing ------------------------------- *)
+
+let test_sink_access_capacity () =
+  let s = Vm.make_sink () in
+  let a =
+    {
+      Trace.thread = 0;
+      pc = 1;
+      addr = 0x100;
+      size = 8;
+      kind = Trace.Read;
+      value = 0;
+      atomic = false;
+      sp = Vmm.Layout.stack_top 0 - 32;
+    }
+  in
+  for i = 1 to Vm.sink_capacity do
+    Vm.sink_push_access s a;
+    checki "accesses accumulate" i s.Vm.sk_n_acc
+  done;
+  Alcotest.check_raises "overflow rejected"
+    (Invalid_argument "vm: sink access overflow") (fun () ->
+      Vm.sink_push_access s a);
+  Vm.sink_clear s;
+  checki "clear empties the frame" 0 s.Vm.sk_n_acc
+
+let test_events_sunk_counter () =
+  let env = Lazy.force env in
+  let before = Vm.events_sunk env.Exec.vm in
+  let prog = [ { P.nr = Kernel.Abi.sys_socket; args = [ P.Const 1; P.Const 0 ] } ] in
+  ignore (Exec.run_seq env ~tid:0 prog);
+  checkb "sink executions count sunk events" true
+    (Vm.events_sunk env.Exec.vm > before)
+
+let qtests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_sink_block_equivalent; prop_shared_profile_equivalent ]
+
+let tests =
+  [
+    Alcotest.test_case "lockstep event lists" `Quick test_lockstep_events;
+    Alcotest.test_case "block quantum" `Quick test_block_quantum;
+    Alcotest.test_case "fingerprint regs" `Quick test_fingerprint_regs_unambiguous;
+    Alcotest.test_case "fingerprint console" `Quick
+      test_fingerprint_console_unambiguous;
+    Alcotest.test_case "edge key boundaries" `Quick test_edge_key_boundaries;
+    Alcotest.test_case "edge cache reset" `Quick test_edge_cache_reset;
+    Alcotest.test_case "edges sorted, log and fold" `Quick
+      test_edges_sorted_and_mixed;
+    Alcotest.test_case "sink capacity" `Quick test_sink_access_capacity;
+    Alcotest.test_case "events sunk counter" `Quick test_events_sunk_counter;
+  ]
+
+let () = Alcotest.run "exec" [ ("sink+block", qtests @ tests) ]

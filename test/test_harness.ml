@@ -159,7 +159,7 @@ let test_pct_policy_shape () =
   let policy = Sched.Policies.pct rng ~depth:3 ~est_len:100 in
   let switches = ref 0 in
   for _ = 1 to 200 do
-    if policy.Exec.decide 0 [] then incr switches
+    if policy.Exec.decide 0 (Vmm.Vm.make_sink ()) then incr switches
   done;
   checkb "at most depth-1 switches" true (!switches <= 2)
 

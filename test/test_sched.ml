@@ -21,6 +21,12 @@ let sock_prog = [ c Abi.sys_socket [ k Abi.af_inet; k 0 ] ]
 
 let msg_prog = [ c Abi.sys_msgget [ k 1 ]; c Abi.sys_msgget [ k 2 ] ]
 
+(* a one-access sink frame, for driving policies without guest code *)
+let sink_of_access a =
+  let s = Vmm.Vm.make_sink () in
+  Vmm.Vm.sink_push_access s a;
+  s
+
 let always_switch : Exec.policy = { Exec.first = 0; decide = (fun _ _ -> true) }
 
 let never_switch : Exec.policy = { Exec.first = 0; decide = (fun _ _ -> false) }
@@ -129,14 +135,14 @@ let test_snowboard_policy_switch_points () =
   (* a non-PMC access never triggers a switch request *)
   let wants = ref false in
   for _ = 1 to 50 do
-    if policy.Exec.decide 0 [ Vmm.Vm.Eaccess (mk_access ~pc:99 ~addr:0x900 Trace.Read) ]
+    if policy.Exec.decide 0 (sink_of_access (mk_access ~pc:99 ~addr:0x900 Trace.Read))
     then wants := true
   done;
   checkb "non-PMC access never switches" false !wants;
   (* a matching PMC write eventually triggers a switch *)
   let wants = ref false in
   for _ = 1 to 50 do
-    if policy.Exec.decide 0 [ Vmm.Vm.Eaccess (mk_access Trace.Write) ] then
+    if policy.Exec.decide 0 (sink_of_access (mk_access Trace.Write)) then
       wants := true
   done;
   checkb "PMC access switches eventually" true !wants
@@ -164,8 +170,8 @@ let test_snowboard_flags_learned () =
     }
   in
   (* precede the PMC access with a distinctive access: it becomes a flag *)
-  ignore (policy.Exec.decide 0 [ Vmm.Vm.Eaccess (acc ~pc:7 ~addr:0x500 Trace.Read) ]);
-  ignore (policy.Exec.decide 0 [ Vmm.Vm.Eaccess (acc ~pc:10 ~addr:0x100 Trace.Write) ]);
+  ignore (policy.Exec.decide 0 (sink_of_access (acc ~pc:7 ~addr:0x500 Trace.Read)));
+  ignore (policy.Exec.decide 0 (sink_of_access (acc ~pc:10 ~addr:0x100 Trace.Write)));
   checki "flag recorded" 1 (Hashtbl.length st.Policies.flags);
   checkb "flag is the preceding access" true
     (Hashtbl.mem st.Policies.flags (7, Trace.Read, 0x500))
@@ -212,13 +218,13 @@ let test_ski_policy_instruction_triggered () =
   in
   let wants = ref false in
   for _ = 1 to 50 do
-    if policy.Exec.decide 0 [ Vmm.Vm.Eaccess (acc ~pc:10 ~addr:0x999) ] then
+    if policy.Exec.decide 0 (sink_of_access (acc ~pc:10 ~addr:0x999)) then
       wants := true
   done;
   checkb "ski yields regardless of target" true !wants;
   let wants = ref false in
   for _ = 1 to 50 do
-    if policy.Exec.decide 0 [ Vmm.Vm.Eaccess (acc ~pc:11 ~addr:0x100) ] then
+    if policy.Exec.decide 0 (sink_of_access (acc ~pc:11 ~addr:0x100)) then
       wants := true
   done;
   checkb "ski ignores other instructions" false !wants
