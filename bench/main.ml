@@ -1142,6 +1142,159 @@ let exec_bench () =
   | _ -> pf "wrote %s but it does not parse back as a JSON object@." path
 
 (* ------------------------------------------------------------------ *)
+(* E15: live telemetry streaming overhead                              *)
+
+(* Quantifies the telemetry pipeline: profiling the same corpus with the
+   NDJSON stream off vs on (deterministic virtual-clock cadence, small
+   interval so interval snapshots actually fire).  The overhead number is
+   only reported alongside proof the stream is correct: two identical
+   passes produce byte-identical files, every line parses back as JSON,
+   and the OpenMetrics rendering validates.  Budget: <= 5% overhead on
+   the profiling phase. *)
+let telemetry_bench () =
+  section "E15: live telemetry streaming overhead (BENCH_telemetry.json)";
+  let det = !bench_deterministic in
+  (* the whole profile phase is ~15k guest instructions; a small interval
+     makes the virtual-clock cadence actually fire mid-phase *)
+  let interval = 2_000 in
+  let cfg =
+    {
+      (campaign_cfg Kernel.Config.v5_12_rc3) with
+      Harness.Pipeline.fuzz_iters = 600;
+    }
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let env = Sched.Exec.make_env cfg.Harness.Pipeline.kernel in
+  let corpus, _ =
+    Harness.Pipeline.fuzz ~seeds:cfg.Harness.Pipeline.seed_corpus env
+      ~seed:cfg.Harness.Pipeline.seed ~iters:cfg.Harness.Pipeline.fuzz_iters
+  in
+  pf "corpus: %d tests@." (Fuzzer.Corpus.size corpus);
+  (* warm-up pass so every streamed/timed pass starts from identical
+     cache and snapshot state *)
+  ignore (Harness.Pipeline.profile_corpus env corpus);
+  (* 1. stream correctness: profile the corpus twice under the
+     deterministic cadence.  Metrics are reset before each pass so the
+     virtual clock — and with it every counter total in the stream —
+     restarts from zero, which is what makes the two passes
+     byte-comparable within one process. *)
+  let stream_to path =
+    Obs.Metrics.reset ();
+    Obs.Event.reset ();
+    Obs.Telemetry.configure ~out:path ~progress:Obs.Telemetry.Off
+      ~deterministic:true ~interval ~enabled:true ();
+    Obs.Telemetry.phase "profile";
+    ignore (Harness.Pipeline.profile_corpus env corpus);
+    let snaps = Obs.Telemetry.snapshots () in
+    Obs.Telemetry.close ();
+    snaps
+  in
+  let read_lines path =
+    let ic = open_in path in
+    let rec go acc =
+      match input_line ic with
+      | line -> go (line :: acc)
+      | exception End_of_file ->
+          close_in ic;
+          List.rev acc
+    in
+    go []
+  in
+  let p1 = Filename.temp_file "snowboard_telemetry" ".ndjson" in
+  let p2 = Filename.temp_file "snowboard_telemetry" ".ndjson" in
+  let snaps = stream_to p1 in
+  ignore (stream_to p2);
+  let l1 = read_lines p1 and l2 = read_lines p2 in
+  let stream_identical = l1 = l2 in
+  let lines_parse =
+    l1 <> [] && List.for_all (fun l -> Obs.Export.of_string_opt l <> None) l1
+  in
+  let om_ok =
+    Obs.Export.openmetrics_valid (Obs.Export.openmetrics ~deterministic:true ())
+  in
+  Sys.remove p1;
+  Sys.remove p2;
+  pf "stream: %d snapshots (%d lines); identical across passes: %b; lines parse: %b; openmetrics valid: %b@."
+    snaps (List.length l1) stream_identical lines_parse om_ok;
+  (* 2. overhead: profiling wall-clock with telemetry disabled vs
+     streaming to a file at the production cadence (default interval),
+     alternating passes, min-of-[reps] per mode to de-noise.  Each timed
+     pass repeats the profile phase [inner] times so it runs long enough
+     to measure and so interval snapshots fire at their real frequency
+     per instruction. *)
+  let inner = 100 in
+  let profile_many () =
+    for _ = 1 to inner do
+      ignore (Harness.Pipeline.profile_corpus env corpus)
+    done
+  in
+  let profile_off () =
+    Obs.Telemetry.configure ~enabled:false ();
+    snd (time profile_many)
+  in
+  let profile_on () =
+    let p = Filename.temp_file "snowboard_telemetry" ".ndjson" in
+    Obs.Telemetry.configure ~out:p ~progress:Obs.Telemetry.Off
+      ~deterministic:true ~enabled:true ();
+    let dt = snd (time profile_many) in
+    Obs.Telemetry.close ();
+    Sys.remove p;
+    dt
+  in
+  ignore (profile_off ());
+  (* warm-up *)
+  let reps = 3 in
+  let dt_off = ref infinity and dt_on = ref infinity in
+  for _ = 1 to reps do
+    dt_off := min !dt_off (profile_off ());
+    dt_on := min !dt_on (profile_on ())
+  done;
+  let overhead_pct = 100. *. ((!dt_on /. max 1e-9 !dt_off) -. 1.) in
+  let within = overhead_pct <= 5.0 in
+  pf "profiling: telemetry off %.3fs, streaming on %.3fs (overhead %+.2f%%; within <=5%% budget: %b)@."
+    !dt_off !dt_on overhead_pct within;
+  let open Obs.Export in
+  let json =
+    Obj
+      ([
+         ("experiment", String "telemetry");
+         ("deterministic", Bool det);
+         ("corpus_tests", Int (Fuzzer.Corpus.size corpus));
+         ("snapshot_interval", Int interval);
+         ("snapshots", Int snaps);
+         ("ndjson_lines", Int (List.length l1));
+         ("ndjson_lines_parse", Bool lines_parse);
+         ("stream_identical", Bool stream_identical);
+         ("openmetrics_valid", Bool om_ok);
+         ("overhead_budget_pct", Float 5.0);
+       ]
+      @
+      if det then []
+      else
+        [
+          ("profile_off_s", Float !dt_off);
+          ("profile_on_s", Float !dt_on);
+          ("overhead_pct", Float overhead_pct);
+          ("overhead_within_budget", Bool within);
+        ])
+  in
+  let path = "BENCH_telemetry.json" in
+  write_file path json;
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let body = really_input_string ic n in
+  close_in ic;
+  match of_string_opt body with
+  | Some (Obj fields) ->
+      pf "wrote %s (%d bytes, %d fields, parses back OK)@." path n
+        (List.length fields)
+  | _ -> pf "wrote %s but it does not parse back as a JSON object@." path
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1160,6 +1313,7 @@ let experiments =
     ("resilience", resilience);
     ("prepare", prepare_bench);
     ("exec", exec_bench);
+    ("telemetry", telemetry_bench);
   ]
 
 let () =

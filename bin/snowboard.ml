@@ -71,6 +71,105 @@ let obs_term =
   in
   Term.(const combine $ metrics_out_arg $ stats_arg)
 
+(* ---------------- live telemetry options ---------------- *)
+
+(* campaign/diagnose/repro additionally accept the live-telemetry family:
+   --telemetry-out FILE streams NDJSON snapshots, --progress shows a live
+   HUD (plain periodic lines off a TTY), --deterministic switches the
+   snapshot cadence to the virtual clock and scrubs wall-derived values
+   so two runs of the same configuration produce byte-identical streams,
+   and --openmetrics-out FILE writes a Prometheus-scrapable text
+   exposition on exit (point a node_exporter textfile collector, or any
+   scraper of static files, at it). *)
+
+type telem = { telem_deterministic : bool }
+
+let telemetry_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "telemetry-out" ] ~docv:"FILE"
+        ~doc:
+          "Stream live telemetry snapshots (NDJSON, one JSON object per \
+           line) to $(docv): counter totals and deltas, gauges, histogram \
+           summaries, flight-recorder stats and the PMC-cluster coverage \
+           frontier.")
+
+let progress_arg =
+  Arg.(
+    value & flag
+    & info [ "progress" ]
+        ~doc:
+          "Live progress display on stderr: an ANSI HUD (phase, ETA, \
+           trials/s, instr/s, per-strategy coverage bars) when stderr is a \
+           TTY, degrading to plain periodic lines otherwise.")
+
+let deterministic_arg =
+  Arg.(
+    value & flag
+    & info [ "deterministic" ]
+        ~doc:
+          "Deterministic telemetry: snapshots on a virtual-clock cadence \
+           (guest instructions) with wall-derived values scrubbed, so \
+           --telemetry-out streams are byte-identical across runs of the \
+           same configuration.")
+
+let telemetry_interval_arg =
+  Arg.(
+    value
+    & opt int Obs.Telemetry.default_interval
+    & info [ "telemetry-interval" ] ~docv:"INSTR"
+        ~doc:
+          "Deterministic snapshot cadence: guest instructions between \
+           snapshots (with --deterministic).")
+
+let telemetry_period_arg =
+  Arg.(
+    value
+    & opt float Obs.Telemetry.default_period
+    & info [ "telemetry-period" ] ~docv:"SECONDS"
+        ~doc:"Wall-clock snapshot cadence (without --deterministic).")
+
+let openmetrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "openmetrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the final metrics registry as OpenMetrics/Prometheus text \
+           exposition to $(docv) on exit.")
+
+let telemetry_term =
+  let combine out progress deterministic interval period om_out =
+    if out <> None || progress then begin
+      let progress =
+        if not progress then Obs.Telemetry.Off
+        else if Unix.isatty Unix.stderr then Obs.Telemetry.Hud
+        else Obs.Telemetry.Plain
+      in
+      Obs.Telemetry.configure ?out ~progress ~deterministic ~interval ~period
+        ~enabled:true ();
+      at_exit Obs.Telemetry.close
+    end;
+    (match om_out with
+    | Some path ->
+        at_exit (fun () ->
+            try
+              let oc = open_out path in
+              Fun.protect
+                ~finally:(fun () -> close_out oc)
+                (fun () ->
+                  output_string oc (Obs.Export.openmetrics ~deterministic ()));
+              Format.eprintf "openmetrics written to %s@." path
+            with Sys_error msg ->
+              Format.eprintf "snowboard: cannot write openmetrics: %s@." msg)
+    | None -> ());
+    { telem_deterministic = deterministic }
+  in
+  Term.(
+    const combine $ telemetry_out_arg $ progress_arg $ deterministic_arg
+    $ telemetry_interval_arg $ telemetry_period_arg $ openmetrics_out_arg)
+
 (* --verbose maps to [Logs.Debug] on the snowboard.* sources; the fuzz
    subcommand reuses its own --verbose flag for the same purpose. *)
 let verbose_log =
@@ -327,7 +426,7 @@ exception Interrupted
 
 let run_campaign kernel seed iters trials budget methods seeded domains jobs
     log verbose corpus_file fault_spec watchdog max_retries checkpoint resume
-    stop_after summary_out (_ : obs) =
+    stop_after summary_out (_ : telem) (_ : obs) =
   setup_logs ~debug:verbose ~info:log ();
   if resume && checkpoint = None then
     fail_cli "--resume requires --checkpoint FILE";
@@ -362,6 +461,17 @@ let run_campaign kernel seed iters trials budget methods seeded domains jobs
   let methods =
     match methods with [] -> Core.Select.all_paper_methods | l -> l
   in
+  (* from here on, every telemetry snapshot carries the live coverage
+     frontier, and the HUD shows per-strategy bars and a test-count ETA *)
+  if Obs.Telemetry.enabled () then begin
+    Obs.Telemetry.set_source
+      (Some
+         (fun () ->
+           [ ("frontier", Harness.Frontier.json t.Harness.Pipeline.frontier) ]));
+    Obs.Telemetry.set_hud
+      (Some (fun () -> Harness.Frontier.hud_lines t.Harness.Pipeline.frontier));
+    Obs.Telemetry.set_total (Some (budget * List.length methods))
+  end;
   (* the checkpoint fingerprint covers everything that shapes the plan,
      the per-test seeds and the fault schedule, so a resume with any
      incompatible knob is refused instead of silently mixing results *)
@@ -468,7 +578,7 @@ let campaign_cmd =
       $ verbose_log
       $ corpus_in $ inject_faults_arg $ watchdog_arg $ max_retries_arg
       $ checkpoint_arg $ resume_arg $ stop_after_arg $ summary_out_arg
-      $ obs_term)
+      $ telemetry_term $ obs_term)
 
 (* ---------------- repro ---------------- *)
 
@@ -495,7 +605,7 @@ let sched_arg =
     & info [ "sched" ] ~docv:"S"
         ~doc:"Scheduler: snowboard, ski, pct or naive.")
 
-let run_repro kernel seed issue sched () (_ : obs) =
+let run_repro kernel seed issue sched () (_ : telem) (_ : obs) =
   match Harness.Scenarios.find issue with
   | None ->
       pf "no scenario for issue #%d@." issue;
@@ -513,9 +623,11 @@ let run_repro kernel seed issue sched () (_ : obs) =
         (Fuzzer.Prog.to_string s.Harness.Scenarios.writer)
         (Fuzzer.Prog.to_string s.Harness.Scenarios.reader);
       let env = Sched.Exec.make_env kernel in
+      Obs.Telemetry.phase "repro";
       let a =
         Harness.Scenarios.reproduce env s ~kind:sched ~trials:64 ~seed ()
       in
+      Obs.Telemetry.tick ();
       match a.Harness.Scenarios.trials_to_expose with
       | Some n ->
           pf "reproduced: %d interleavings across %d hinted PMC(s)@." n
@@ -532,7 +644,7 @@ let repro_cmd =
     (Cmd.info "repro" ~doc:"Reproduce one Table 2 issue from its scenario.")
     Term.(
       const run_repro $ version $ seed $ issue_arg $ sched_arg $ logging_term
-      $ obs_term)
+      $ telemetry_term $ obs_term)
 
 (* ---------------- diagnose ---------------- *)
 
@@ -540,13 +652,14 @@ let repro_cmd =
    print the developer-facing evidence: the replayable trace, the kernel
    console, and a post-mortem diagnosis of each data race (section 4.4.1
    and the section 6 reproduction discussion). *)
-let run_diagnose kernel seed issue () (_ : obs) =
+let run_diagnose kernel seed issue () (_ : telem) (_ : obs) =
   match Harness.Scenarios.find issue with
   | None ->
       pf "no scenario for issue #%d@." issue;
       exit 1
   | Some s ->
       let env = Sched.Exec.make_env kernel in
+      Obs.Telemetry.phase "diagnose";
       let ident, hints = Harness.Scenarios.identify env s in
       let found = ref None in
       List.iteri
@@ -576,7 +689,8 @@ let run_diagnose kernel seed issue () (_ : obs) =
               in
               if List.mem issue (Detectors.Oracle.issues findings) then
                 found :=
-                  Some (rec_.Sched.Replay.finish (), res, Detectors.Race.reports race)
+                  Some (rec_.Sched.Replay.finish (), res, Detectors.Race.reports race);
+              Obs.Telemetry.tick ()
             end
           done)
         hints;
@@ -632,7 +746,8 @@ let diagnose_cmd =
          "Reproduce an issue, print a replayable interleaving trace and a \
           post-mortem diagnosis of the detected races.")
     Term.(
-      const run_diagnose $ version $ seed $ issue_arg $ logging_term $ obs_term)
+      const run_diagnose $ version $ seed $ issue_arg $ logging_term
+      $ telemetry_term $ obs_term)
 
 (* ---------------- explain ---------------- *)
 

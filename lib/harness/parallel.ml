@@ -76,6 +76,7 @@ let run_method ?(kind = Sched.Explore.Snowboard) ?domains ?sup ?faults
     ?(resume = fun _ -> None) ?(on_result = fun _ -> ()) (t : Pipeline.t)
     method_ ~budget =
   let domains = match domains with Some d -> max 1 d | None -> default_domains () in
+  Obs.Telemetry.phase ("execute:" ^ Core.Select.method_name method_);
   let plan = Pipeline.plan_method t method_ ~budget in
   (* snapshot the programs into a plain lookup the domains can share *)
   let progs : (int, Fuzzer.Prog.t) Hashtbl.t = Hashtbl.create 64 in
@@ -119,10 +120,30 @@ let run_method ?(kind = Sched.Explore.Snowboard) ?domains ?sup ?faults
     |> List.concat_map (fun (sh, w) ->
            try Domain.join w with e -> shard_failure sh e)
   in
+  let all = stored @ results in
+  (* Frontier notes happen here on the coordinator, after the joins, in
+     plan order — so the coverage table is byte-identical to the
+     sequential runner's for any worker count. *)
+  let hint_of_index = Hashtbl.create 64 in
+  List.iter
+    (fun (index, (ct : Core.Select.conc_test)) ->
+      Hashtbl.replace hint_of_index index ct.Core.Select.hint)
+    indexed;
+  List.iter
+    (fun (r : Pipeline.test_result) ->
+      let hint =
+        Option.join (Hashtbl.find_opt hint_of_index r.Pipeline.tr_index)
+      in
+      Frontier.note t.Pipeline.frontier ?hint ~issues:r.Pipeline.tr_issues
+        ~trials:r.Pipeline.tr_trials ())
+    (List.sort
+       (fun (a : Pipeline.test_result) b ->
+         compare a.Pipeline.tr_index b.Pipeline.tr_index)
+       all);
+  Obs.Telemetry.tick ~tests:(List.length all) ();
   Pipeline.stats_of_results ~method_
     ~num_clusters:plan.Core.Select.num_clusters
-    ~planned:(List.length plan.Core.Select.tests)
-    (stored @ results)
+    ~planned:(List.length plan.Core.Select.tests) all
 
 let run_campaign ?domains ?sup ?faults t ~budget =
   List.map

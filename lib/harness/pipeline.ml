@@ -52,6 +52,7 @@ type t = {
   corpus : Fuzzer.Corpus.t;
   profiles : Core.Profile.t list;
   ident : Core.Identify.t;
+  frontier : Frontier.t;  (* online PMC-cluster coverage (Table 1) *)
   fuzz_steps : int;  (* guest instructions spent fuzzing *)
   profile_steps : int;
 }
@@ -86,7 +87,8 @@ let fuzz ?(seeds = []) env ~seed ~iters =
     (* sequential tests that crash or spam the console are not useful as
        corpus entries; Snowboard wants clean sequential behaviour *)
     if not r.Exec.sq_panicked then
-      ignore (Fuzzer.Corpus.consider corpus prog ~edges:r.Exec.sq_edges)
+      ignore (Fuzzer.Corpus.consider corpus prog ~edges:r.Exec.sq_edges);
+    Obs.Telemetry.tick ()
   done;
   Log.info (fun m ->
       m "fuzzing done: %d iterations, corpus %d, %d edges, %d guest instructions"
@@ -113,6 +115,7 @@ let profile_corpus env corpus =
       (fun (e : Fuzzer.Corpus.entry) ->
         let r = Exec.run_seq_shared env ~tid:0 e.prog in
         steps := !steps + r.Exec.sq_steps;
+        Obs.Telemetry.tick ();
         Core.Profile.of_shared ~test_id:e.id r.Exec.sq_accesses)
       (Fuzzer.Corpus.to_list corpus)
   in
@@ -154,26 +157,31 @@ let profile_corpus_parallel ~jobs ~kernel corpus =
    artifacts attribute guest instructions and corpus growth per phase. *)
 let prepare cfg =
   Obs.Span.with_span "pipeline.prepare" (fun () ->
+      Obs.Telemetry.phase "boot";
       let env =
         Obs.Span.with_span "boot" (fun () -> Exec.make_env cfg.kernel)
       in
+      Obs.Telemetry.phase "fuzz";
       let corpus, fuzz_steps =
         Obs.Span.with_span "fuzz" (fun () ->
             fuzz ~seeds:cfg.seed_corpus env ~seed:cfg.seed ~iters:cfg.fuzz_iters)
       in
+      Obs.Telemetry.phase "profile";
       let profiles, profile_steps =
         Obs.Span.with_span "profile" (fun () ->
             if cfg.jobs > 1 then
               profile_corpus_parallel ~jobs:cfg.jobs ~kernel:cfg.kernel corpus
             else profile_corpus env corpus)
       in
+      Obs.Telemetry.phase "identify";
       let ident =
         Obs.Span.with_span "identify" (fun () -> Core.Identify.run profiles)
       in
       Log.info (fun m ->
           m "identification: %d profiles, %d PMCs" (List.length profiles)
             (Core.Identify.num_pmcs ident));
-      { cfg; env; corpus; profiles; ident; fuzz_steps; profile_steps })
+      let frontier = Frontier.create ident in
+      { cfg; env; corpus; profiles; ident; frontier; fuzz_steps; profile_steps })
 
 let prog_of_id t id =
   match Fuzzer.Corpus.find t.corpus id with
@@ -389,21 +397,30 @@ let run_method ?(kind = Sched.Explore.Snowboard) ?sup ?faults
   Obs.Span.with_span
     ("pipeline.run_method(" ^ Core.Select.method_name method_ ^ ")")
   @@ fun () ->
+  Obs.Telemetry.phase ("execute:" ^ Core.Select.method_name method_);
   let plan = plan_method t method_ ~budget in
   let results =
     Obs.Span.with_span "execute" @@ fun () ->
     List.mapi
       (fun i ct ->
         let index = i + 1 in
-        match resume index with
-        | Some r -> r
-        | None ->
-            let r =
-              run_one_test ~env:t.env ~ident:t.ident ~cfg:t.cfg ~kind ?sup
-                ?faults ~prog_of_id:(prog_of_id t) ~index ct
-            in
-            on_result r;
-            r)
+        let r =
+          match resume index with
+          | Some r -> r
+          | None ->
+              let r =
+                run_one_test ~env:t.env ~ident:t.ident ~cfg:t.cfg ~kind ?sup
+                  ?faults ~prog_of_id:(prog_of_id t) ~index ct
+              in
+              on_result r;
+              r
+        in
+        (* resumed results are noted too: the frontier must describe the
+           whole campaign, not just the work done since the checkpoint *)
+        Frontier.note t.frontier ?hint:ct.Core.Select.hint
+          ~issues:r.tr_issues ~trials:r.tr_trials ();
+        Obs.Telemetry.tick ~tests:1 ();
+        r)
       plan.Core.Select.tests
   in
   let stats =

@@ -27,6 +27,9 @@ type t = {
   corpus : Fuzzer.Corpus.t;
   profiles : Core.Profile.t list;
   ident : Core.Identify.t;
+  frontier : Frontier.t;
+      (** online PMC-cluster coverage over every Table 1 strategy; the
+          sequential and parallel runners note each completed test *)
   fuzz_steps : int;  (** guest instructions spent fuzzing *)
   profile_steps : int;
 }

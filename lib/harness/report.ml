@@ -212,6 +212,7 @@ let json_summary ?pipeline ~(stats : Pipeline.method_stats list)
                 ("fuzz_steps", J.Int t.Pipeline.fuzz_steps);
                 ("profile_steps", J.Int t.Pipeline.profile_steps);
               ] );
+          ("frontier", Frontier.json t.Pipeline.frontier);
         ]
   in
   J.Obj

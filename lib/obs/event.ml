@@ -108,3 +108,18 @@ let events () =
 
 let seen () = st.seen
 let dropped () = st.seen - st.size
+
+type stats = {
+  st_seen : int;
+  st_dropped : int;
+  st_buffered : int;
+  st_capacity : int;
+}
+
+let stats () =
+  {
+    st_seen = st.seen;
+    st_dropped = st.seen - st.size;
+    st_buffered = st.size;
+    st_capacity = Array.length st.buf;
+  }

@@ -87,5 +87,15 @@ val seen : unit -> int
 val dropped : unit -> int
 (** Events overwritten by ring wraparound. *)
 
+type stats = {
+  st_seen : int;  (** total emitted since the last [configure]/[reset] *)
+  st_dropped : int;  (** overwritten by wraparound *)
+  st_buffered : int;  (** currently in the ring *)
+  st_capacity : int;
+}
+
+val stats : unit -> stats
+(** One coherent reading of the ring counters, for telemetry snapshots. *)
+
 val reset : unit -> unit
 (** Clear the buffer, keeping the current configuration. *)

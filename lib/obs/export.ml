@@ -90,6 +90,43 @@ let to_string v =
   Buffer.add_char b '\n';
   Buffer.contents b
 
+(* Compact single-line form (no whitespace) for NDJSON streams: one
+   snapshot per line, parseable by [of_string]. *)
+let rec print_compact b v =
+  match v with
+  | Null -> Buffer.add_string b "null"
+  | Bool x -> Buffer.add_string b (string_of_bool x)
+  | Int n -> Buffer.add_string b (string_of_int n)
+  | Float f -> Buffer.add_string b (float_repr f)
+  | String s ->
+      Buffer.add_char b '"';
+      Buffer.add_string b (escape s);
+      Buffer.add_char b '"'
+  | List items ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char b ',';
+          print_compact b item)
+        items;
+      Buffer.add_char b ']'
+  | Obj fields ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, item) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_char b '"';
+          Buffer.add_string b (escape k);
+          Buffer.add_string b "\":";
+          print_compact b item)
+        fields;
+      Buffer.add_char b '}'
+
+let to_line v =
+  let b = Buffer.create 256 in
+  print_compact b v;
+  Buffer.contents b
+
 (* ------------------------------------------------------------------ *)
 (* Parsing (validity checking and round-trip tests).                   *)
 
@@ -247,12 +284,16 @@ let of_string_opt s =
 (* ------------------------------------------------------------------ *)
 (* Registry rendering.                                                 *)
 
-let time_unit = "us"
-
 (* Units whose values derive from the wall clock and therefore vary run to
-   run: elapsed time and anything-per-second rates.  Deterministic
-   artifacts drop metrics carrying them. *)
-let nondeterministic_units = [ time_unit; "instr/s" ]
+   run: elapsed time in any granularity and anything-per-second rates
+   ("instr/s", "trials/s", "pages/s", ...).  Deterministic artifacts drop
+   metrics carrying them; matching by unit shape rather than a fixed list
+   means a newly added rate gauge can never leak into a byte-stable
+   artifact. *)
+let is_nondeterministic_unit u =
+  match u with
+  | "us" | "ms" | "ns" | "s" -> true
+  | _ -> String.length u >= 2 && String.ends_with ~suffix:"/s" u
 
 let sample_json (s : Metrics.sample) =
   let base = [ ("name", String s.Metrics.name) ] in
@@ -284,7 +325,7 @@ let metrics_json ?(deterministic = false) () =
       List.filter
         (fun (s : Metrics.sample) ->
           match s.Metrics.unit_ with
-          | Some u -> not (List.mem u nondeterministic_units)
+          | Some u -> not (is_nondeterministic_unit u)
           | None -> true)
         samples
     else samples
@@ -316,7 +357,208 @@ let registry_json ?(deterministic = false) ?(extra = []) () =
     @ extra)
 
 (* ------------------------------------------------------------------ *)
-(* Text table.                                                         *)
+(* OpenMetrics text rendering (Prometheus-scrapable).                  *)
+
+(* Metric names: [a-zA-Z_:][a-zA-Z0-9_:]*.  Registry names like
+   "snowboard.sched/steps" become "snowboard_sched_steps". *)
+let om_name name =
+  let b = Buffer.create (String.length name + 1) in
+  if name = "" then Buffer.add_char b '_'
+  else (match name.[0] with '0' .. '9' -> Buffer.add_char b '_' | _ -> ());
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    name;
+  Buffer.contents b
+
+let om_le i = Printf.sprintf "%.1f" (Int64.to_float (Int64.shift_left 1L i))
+
+let openmetrics ?(deterministic = false) () =
+  let samples = Metrics.dump () in
+  let samples =
+    if deterministic then
+      List.filter
+        (fun (s : Metrics.sample) ->
+          match s.Metrics.unit_ with
+          | Some u -> not (is_nondeterministic_unit u)
+          | None -> true)
+        samples
+    else samples
+  in
+  let b = Buffer.create 2048 in
+  let help name unit_ =
+    match unit_ with
+    | Some u -> Buffer.add_string b (Printf.sprintf "# HELP %s unit: %s\n" name u)
+    | None -> ()
+  in
+  List.iter
+    (fun (s : Metrics.sample) ->
+      let n = om_name s.Metrics.name in
+      match s.Metrics.value with
+      | Metrics.Sample_counter v ->
+          Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n" n);
+          help n s.Metrics.unit_;
+          Buffer.add_string b (Printf.sprintf "%s_total %d\n" n v)
+      | Metrics.Sample_gauge v ->
+          Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n" n);
+          help n s.Metrics.unit_;
+          Buffer.add_string b (Printf.sprintf "%s %d\n" n v)
+      | Metrics.Sample_hist h ->
+          Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" n);
+          help n s.Metrics.unit_;
+          (match Metrics.hist_buckets_by_name s.Metrics.name with
+          | Some { Metrics.hb_buckets; hb_count; hb_sum } ->
+              (* cumulative buckets up to the last populated bound *)
+              let last = ref (-1) in
+              Array.iteri
+                (fun i c -> if c > 0 then last := i)
+                hb_buckets;
+              let cum = ref 0 in
+              for i = 0 to !last do
+                cum := !cum + hb_buckets.(i);
+                Buffer.add_string b
+                  (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" n (om_le i) !cum)
+              done;
+              Buffer.add_string b
+                (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n hb_count);
+              Buffer.add_string b (Printf.sprintf "%s_sum %d\n" n hb_sum);
+              Buffer.add_string b (Printf.sprintf "%s_count %d\n" n hb_count)
+          | None ->
+              Buffer.add_string b
+                (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n
+                   h.Metrics.count);
+              Buffer.add_string b (Printf.sprintf "%s_sum %d\n" n h.Metrics.sum);
+              Buffer.add_string b
+                (Printf.sprintf "%s_count %d\n" n h.Metrics.count)))
+    samples;
+  Buffer.add_string b "# EOF\n";
+  Buffer.contents b
+
+(* Structural validity check used by tests and the bench harness: every
+   line is either a well-formed comment or a sample whose family was
+   declared by a preceding # TYPE line (counters via their _total series,
+   histograms via _bucket/_sum/_count), names are legal, values are
+   numeric, histogram buckets are cumulative, and the exposition ends
+   with the mandatory "# EOF" terminator. *)
+let openmetrics_valid text =
+  let legal_name n =
+    n <> ""
+    && (match n.[0] with
+       | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
+       | _ -> false)
+    && String.for_all
+         (function
+           | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+           | _ -> false)
+         n
+  in
+  let types : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  let last_bucket : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let strip_suffix n =
+    let drop suf =
+      if String.ends_with ~suffix:suf n then
+        Some (String.sub n 0 (String.length n - String.length suf))
+      else None
+    in
+    match drop "_total" with
+    | Some base -> Some (base, `Total)
+    | None -> (
+        match drop "_bucket" with
+        | Some base -> Some (base, `Bucket)
+        | None -> (
+            match drop "_sum" with
+            | Some base -> Some (base, `Sum)
+            | None -> (
+                match drop "_count" with
+                | Some base -> Some (base, `Count)
+                | None -> None)))
+  in
+  let check_sample line =
+    (* name[{labels}] value *)
+    let name_end =
+      let rec go i =
+        if i >= String.length line then i
+        else match line.[i] with '{' | ' ' -> i | _ -> go (i + 1)
+      in
+      go 0
+    in
+    let name = String.sub line 0 name_end in
+    if not (legal_name name) then false
+    else
+      let rest = String.sub line name_end (String.length line - name_end) in
+      let labels, value_str =
+        if rest <> "" && rest.[0] = '{' then
+          match String.index_opt rest '}' with
+          | None -> ("", "")
+          | Some close ->
+              ( String.sub rest 1 (close - 1),
+                String.trim
+                  (String.sub rest (close + 1) (String.length rest - close - 1))
+              )
+        else ("", String.trim rest)
+      in
+      if value_str = "" || float_of_string_opt value_str = None then false
+      else
+        let family_ok =
+          match strip_suffix name with
+          | Some (base, kind) when Hashtbl.mem types base -> (
+              let ty = Hashtbl.find types base in
+              match (ty, kind) with
+              | "counter", `Total -> true
+              | "histogram", (`Bucket | `Sum | `Count) -> true
+              | _ ->
+                  (* e.g. a gauge that happens to end in _count *)
+                  Hashtbl.mem types name)
+          | _ -> Hashtbl.mem types name
+        in
+        if not family_ok then false
+        else if String.length labels > 6 && String.sub labels 0 4 = "le=\"" then begin
+          (* cumulative-bucket check per family *)
+          match strip_suffix name with
+          | Some (base, `Bucket) ->
+              let v = int_of_float (float_of_string value_str) in
+              let prev =
+                match Hashtbl.find_opt last_bucket base with
+                | Some p -> p
+                | None -> 0
+              in
+              if v < prev then false
+              else begin
+                Hashtbl.replace last_bucket base v;
+                true
+              end
+          | _ -> true
+        end
+        else true
+  in
+  let lines = String.split_on_char '\n' text in
+  let rec go saw_eof = function
+    | [] -> saw_eof
+    | "" :: rest -> go saw_eof rest
+    | line :: rest ->
+        if saw_eof then false (* nothing may follow # EOF *)
+        else if line = "# EOF" then go true rest
+        else if String.length line > 0 && line.[0] = '#' then begin
+          match String.split_on_char ' ' line with
+          | "#" :: "TYPE" :: name :: [ ty ] ->
+              if
+                legal_name name
+                && List.mem ty [ "counter"; "gauge"; "histogram"; "summary" ]
+              then begin
+                Hashtbl.replace types name ty;
+                go saw_eof rest
+              end
+              else false
+          | "#" :: "HELP" :: name :: _ ->
+              if legal_name name then go saw_eof rest else false
+          | _ -> false
+        end
+        else if check_sample line then go saw_eof rest
+        else false
+  in
+  go false lines
 
 let table () =
   let b = Buffer.create 1024 in

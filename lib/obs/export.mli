@@ -15,6 +15,10 @@ val to_string : json -> string
 (** Pretty-print with 2-space indentation, fields in the given order, and
     a trailing newline. *)
 
+val to_line : json -> string
+(** Compact single-line form (no whitespace, no trailing newline) used
+    for NDJSON streams; parseable by {!of_string}. *)
+
 exception Parse_error of string
 
 val of_string : string -> json
@@ -25,10 +29,30 @@ val of_string : string -> json
 val of_string_opt : string -> json option
 (** [of_string] with the {!Parse_error} mapped to [None]. *)
 
+val is_nondeterministic_unit : string -> bool
+(** True for units whose values derive from the wall clock: elapsed time
+    (["us"], ["ms"], ["ns"], ["s"]) and any per-second rate (a unit
+    ending in ["/s"], e.g. ["instr/s"], ["trials/s"], ["pages/s"]).
+    Deterministic artifacts scrub metrics carrying such units. *)
+
 val metrics_json : ?deterministic:bool -> unit -> json
 (** The registry as a JSON list, sorted by metric name.  In deterministic
-    mode, metrics whose unit is ["us"] (wall clock) are omitted so the
-    output is a pure function of the seed. *)
+    mode, metrics whose unit satisfies {!is_nondeterministic_unit} are
+    omitted so the output is a pure function of the seed. *)
+
+val openmetrics : ?deterministic:bool -> unit -> string
+(** The registry as OpenMetrics/Prometheus text exposition: counters as
+    [name_total], gauges plain, histograms with cumulative power-of-two
+    [_bucket{le="..."}] series plus [_sum]/[_count], each family preceded
+    by a [# TYPE] line, terminated by [# EOF].  Deterministic mode scrubs
+    the same units as {!metrics_json}. *)
+
+val openmetrics_valid : string -> bool
+(** Structural validity check for an OpenMetrics exposition (used by
+    tests and the bench harness): legal names, numeric values, families
+    declared by [# TYPE] before their samples, counters sampled via
+    [_total], cumulative histogram buckets, mandatory [# EOF]
+    terminator with nothing after it. *)
 
 val spans_json : ?deterministic:bool -> unit -> json
 (** Finished span trees; deterministic mode omits durations. *)

@@ -1,37 +1,38 @@
 (* Process-wide metrics registry: named counters, gauges and log-scale
    histograms, with no dependency beyond the stdlib (+ unix for the span
-   clock in Span).  Handles are cheap mutable cells; registration is
-   idempotent per (name, kind) so any module can name the same metric.
+   clock in Span).  Registration is idempotent per (name, kind) so any
+   module can name the same metric.
+
+   Storage is sharded per domain (see Shard): a counter/histogram handle
+   is a small integer id, and [add]/[observe] route through the calling
+   domain's shard, so campaign workers update metrics without contention
+   or races.  Reads ([counter_value], [dump], quantiles) merge across
+   shards on demand; they are exact once worker domains are joined and
+   monotone-but-stale while they run.  Gauges stay a single global
+   [Atomic] cell: they are last-writer-wins by nature and only the
+   orchestration layer sets them.
 
    Hot-path discipline: [add]/[observe] check the global enabled flag
    first, so instrumented code never needs its own guard, and the
    subsystems only call into this module at run boundaries (never per
    guest instruction) - see DESIGN.md "Observability". *)
 
-let num_buckets = 63
-
-type hist_state = {
-  buckets : int array;  (* buckets.(i) counts values v with v <= 2^i *)
-  mutable h_count : int;
-  mutable h_sum : int;
-  mutable h_min : int;
-  mutable h_max : int;
-}
-
 type value =
-  | Vcounter of int Atomic.t
+  | Vcounter of int  (* shard counter id *)
   | Vgauge of int Atomic.t
-  | Vhist of hist_state
+  | Vhist of int  (* shard histogram id *)
 
 type metric = { m_name : string; m_unit : string option; m_value : value }
 
-type counter = int Atomic.t
+type counter = int
 type gauge = int Atomic.t
-type histogram = hist_state
+type histogram = int
 
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 128
 let lock = Mutex.create ()
 let enabled_flag = Atomic.make true
+let next_counter = ref 0
+let next_hist = ref 0
 
 let enabled () = Atomic.get enabled_flag
 let set_enabled b = Atomic.set enabled_flag b
@@ -39,15 +40,6 @@ let set_enabled b = Atomic.set enabled_flag b
 let with_lock f =
   Mutex.lock lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
-
-let fresh_hist () =
-  {
-    buckets = Array.make num_buckets 0;
-    h_count = 0;
-    h_sum = 0;
-    h_min = max_int;
-    h_max = min_int;
-  }
 
 let kind_name = function
   | Vcounter _ -> "counter"
@@ -59,16 +51,17 @@ let kind_name = function
 let counter ?unit_ name : counter =
   with_lock (fun () ->
       match Hashtbl.find_opt registry name with
-      | Some { m_value = Vcounter c; _ } -> c
+      | Some { m_value = Vcounter id; _ } -> id
       | Some m ->
           invalid_arg
             (Printf.sprintf "Obs.Metrics: %s already registered as a %s" name
                (kind_name m.m_value))
       | None ->
-          let c = Atomic.make 0 in
+          let id = !next_counter in
+          Stdlib.incr next_counter;
           Hashtbl.replace registry name
-            { m_name = name; m_unit = unit_; m_value = Vcounter c };
-          c)
+            { m_name = name; m_unit = unit_; m_value = Vcounter id };
+          id)
 
 let gauge ?unit_ name : gauge =
   with_lock (fun () ->
@@ -87,73 +80,75 @@ let gauge ?unit_ name : gauge =
 let histogram ?unit_ name : histogram =
   with_lock (fun () ->
       match Hashtbl.find_opt registry name with
-      | Some { m_value = Vhist h; _ } -> h
+      | Some { m_value = Vhist id; _ } -> id
       | Some m ->
           invalid_arg
             (Printf.sprintf "Obs.Metrics: %s already registered as a %s" name
                (kind_name m.m_value))
       | None ->
-          let h = fresh_hist () in
+          let id = !next_hist in
+          Stdlib.incr next_hist;
           Hashtbl.replace registry name
-            { m_name = name; m_unit = unit_; m_value = Vhist h };
-          h)
+            { m_name = name; m_unit = unit_; m_value = Vhist id };
+          id)
 
-let add c n = if Atomic.get enabled_flag then ignore (Atomic.fetch_and_add c n)
+let add c n =
+  if Atomic.get enabled_flag then Shard.add (Shard.local ()) c n
+
 let incr c = add c 1
-let counter_value (c : counter) = Atomic.get c
+let counter_value (c : counter) = Shard.counter_total c
 
 let set g v = if Atomic.get enabled_flag then Atomic.set g v
 let gauge_value (g : gauge) = Atomic.get g
 
-(* Bucket index: the smallest i with v <= 2^i (0 for v <= 1). *)
-let bucket_of v =
-  if v <= 1 then 0
-  else
-    let rec go i bound = if v <= bound || i = num_buckets - 1 then i else go (i + 1) (bound * 2) in
-    go 1 2
-
 let observe (h : histogram) v =
-  if Atomic.get enabled_flag then
-    with_lock (fun () ->
-        h.buckets.(bucket_of v) <- h.buckets.(bucket_of v) + 1;
-        h.h_count <- h.h_count + 1;
-        h.h_sum <- h.h_sum + v;
-        if v < h.h_min then h.h_min <- v;
-        if v > h.h_max then h.h_max <- v)
+  if Atomic.get enabled_flag then Shard.observe (Shard.local ()) h v
 
-let hist_count h = h.h_count
-let hist_sum h = h.h_sum
-let hist_min h = if h.h_count = 0 then 0 else h.h_min
-let hist_max h = if h.h_count = 0 then 0 else h.h_max
+let merged (h : histogram) = Shard.merged_hist h
+
+let hist_count h = (merged h).Shard.h_count
+let hist_sum h = (merged h).Shard.h_sum
+
+let hist_min h =
+  let m = merged h in
+  if m.Shard.h_count = 0 then 0 else m.Shard.h_min
+
+let hist_max h =
+  let m = merged h in
+  if m.Shard.h_count = 0 then 0 else m.Shard.h_max
 
 let hist_mean h =
-  if h.h_count = 0 then 0. else float_of_int h.h_sum /. float_of_int h.h_count
+  let m = merged h in
+  if m.Shard.h_count = 0 then 0.
+  else float_of_int m.Shard.h_sum /. float_of_int m.Shard.h_count
 
 (* Approximate quantile: the upper bound of the first log-scale bucket
    whose cumulative population reaches q * count, clamped to the observed
    maximum.  The answer is an upper bound within one power of two of the
    exact quantile. *)
-let quantile h q =
-  if h.h_count = 0 then 0
+let quantile_merged (m : Shard.hist) q =
+  if m.Shard.h_count = 0 then 0
   else begin
     let q = if q < 0. then 0. else if q > 1. then 1. else q in
     let target =
-      max 1 (int_of_float (ceil (q *. float_of_int h.h_count)))
+      max 1 (int_of_float (ceil (q *. float_of_int m.Shard.h_count)))
     in
     let cum = ref 0 in
-    let ans = ref h.h_max in
+    let ans = ref m.Shard.h_max in
     (try
        Array.iteri
          (fun i n ->
            cum := !cum + n;
            if !cum >= target then begin
-             ans := min (1 lsl i) h.h_max;
+             ans := min (1 lsl i) m.Shard.h_max;
              raise Exit
            end)
-         h.buckets
+         m.Shard.buckets
      with Exit -> ());
     !ans
   end
+
+let quantile h q = quantile_merged (merged h) q
 
 (* ------------------------------------------------------------------ *)
 (* Snapshots for export.                                               *)
@@ -168,6 +163,8 @@ type hist_snapshot = {
   p99 : int;
 }
 
+type hist_buckets = { hb_buckets : int array; hb_count : int; hb_sum : int }
+
 type sample_value =
   | Sample_counter of int
   | Sample_gauge of int
@@ -175,54 +172,83 @@ type sample_value =
 
 type sample = { name : string; unit_ : string option; value : sample_value }
 
-let snapshot_hist h =
+let snapshot_merged (m : Shard.hist) =
   {
-    count = h.h_count;
-    sum = h.h_sum;
-    min_ = hist_min h;
-    max_ = hist_max h;
-    p50 = quantile h 0.5;
-    p90 = quantile h 0.9;
-    p99 = quantile h 0.99;
+    count = m.Shard.h_count;
+    sum = m.Shard.h_sum;
+    min_ = (if m.Shard.h_count = 0 then 0 else m.Shard.h_min);
+    max_ = (if m.Shard.h_count = 0 then 0 else m.Shard.h_max);
+    p50 = quantile_merged m 0.5;
+    p90 = quantile_merged m 0.9;
+    p99 = quantile_merged m 0.99;
   }
 
 let dump () =
-  let l =
-    with_lock (fun () ->
-        Hashtbl.fold
-          (fun _ m acc ->
-            let value =
-              match m.m_value with
-              | Vcounter c -> Sample_counter (Atomic.get c)
-              | Vgauge g -> Sample_gauge (Atomic.get g)
-              | Vhist h -> Sample_hist (snapshot_hist h)
-            in
-            { name = m.m_name; unit_ = m.m_unit; value } :: acc)
-          registry [])
+  let metrics =
+    with_lock (fun () -> Hashtbl.fold (fun _ m acc -> m :: acc) registry [])
   in
-  List.sort (fun a b -> compare a.name b.name) l
+  List.map
+    (fun m ->
+      let value =
+        match m.m_value with
+        | Vcounter id -> Sample_counter (Shard.counter_total id)
+        | Vgauge g -> Sample_gauge (Atomic.get g)
+        | Vhist id -> Sample_hist (snapshot_merged (Shard.merged_hist id))
+      in
+      { name = m.m_name; unit_ = m.m_unit; value })
+    metrics
+  |> List.sort (fun a b -> compare a.name b.name)
+
+(* Raw merged buckets for one histogram by name (OpenMetrics export). *)
+let hist_buckets_by_name name =
+  let found =
+    with_lock (fun () ->
+        match Hashtbl.find_opt registry name with
+        | Some { m_value = Vhist id; _ } -> Some id
+        | _ -> None)
+  in
+  match found with
+  | None -> None
+  | Some id ->
+      let m = Shard.merged_hist id in
+      Some
+        {
+          hb_buckets = Array.copy m.Shard.buckets;
+          hb_count = m.Shard.h_count;
+          hb_sum = m.Shard.h_sum;
+        }
+
+(* Current value of a counter or gauge by name (telemetry clock/HUD). *)
+let value_by_name name =
+  let found =
+    with_lock (fun () ->
+        match Hashtbl.find_opt registry name with
+        | Some { m_value = (Vcounter _ | Vgauge _) as v; _ } -> Some v
+        | _ -> None)
+  in
+  match found with
+  | Some (Vcounter id) -> Some (Shard.counter_total id)
+  | Some (Vgauge g) -> Some (Atomic.get g)
+  | _ -> None
 
 (* Current counter values only, for span deltas. *)
 let counter_values () =
-  with_lock (fun () ->
-      Hashtbl.fold
-        (fun _ m acc ->
-          match m.m_value with
-          | Vcounter c -> (m.m_name, Atomic.get c) :: acc
-          | _ -> acc)
-        registry [])
+  let ids =
+    with_lock (fun () ->
+        Hashtbl.fold
+          (fun _ m acc ->
+            match m.m_value with
+            | Vcounter id -> (m.m_name, id) :: acc
+            | _ -> acc)
+          registry [])
+  in
+  List.map (fun (name, id) -> (name, Shard.counter_total id)) ids
 
 (* Zero every metric; handles stay valid. *)
 let reset () =
   with_lock (fun () ->
       Hashtbl.iter
         (fun _ m ->
-          match m.m_value with
-          | Vcounter c | Vgauge c -> Atomic.set c 0
-          | Vhist h ->
-              Array.fill h.buckets 0 num_buckets 0;
-              h.h_count <- 0;
-              h.h_sum <- 0;
-              h.h_min <- max_int;
-              h.h_max <- min_int)
-        registry)
+          match m.m_value with Vgauge g -> Atomic.set g 0 | _ -> ())
+        registry);
+  Shard.reset ()

@@ -5,7 +5,13 @@
     name returns the existing handle; registering it under a different
     kind raises [Invalid_argument].  All mutation is guarded by the global
     enabled flag, so instrumented code needs no guard of its own, and a
-    disabled registry costs one atomic load per call. *)
+    disabled registry costs one atomic load per call.
+
+    Counter and histogram storage is sharded per domain (see {!Shard}):
+    updates go to the calling domain's private shard, and every read API
+    here merges across shards on demand.  Totals are exact once worker
+    domains are joined, and monotone (possibly slightly stale) while they
+    run.  Gauges are a single last-writer-wins atomic cell. *)
 
 val enabled : unit -> bool
 
@@ -83,6 +89,20 @@ type sample = { name : string; unit_ : string option; value : sample_value }
 
 val dump : unit -> sample list
 (** All registered metrics with their current values, sorted by name. *)
+
+type hist_buckets = { hb_buckets : int array; hb_count : int; hb_sum : int }
+(** Raw merged log-scale buckets; [hb_buckets.(i)] counts values
+    [v <= 2^i]. *)
+
+val hist_buckets_by_name : string -> hist_buckets option
+(** The merged raw buckets of the histogram registered under this name,
+    or [None] if the name is unregistered or not a histogram.  Used by
+    the OpenMetrics exporter, which needs per-bucket counts. *)
+
+val value_by_name : string -> int option
+(** The current merged value of the counter — or gauge — registered
+    under this name.  Used by {!Telemetry} for its virtual-clock source
+    and HUD tallies without holding handles. *)
 
 val counter_values : unit -> (string * int) list
 (** Current counter values only (unsorted); used for span deltas. *)

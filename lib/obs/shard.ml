@@ -1,0 +1,170 @@
+(* Per-domain metric shards.
+
+   Each domain that touches a counter or histogram gets its own shard (a
+   Domain.DLS slot), so the hot path is an uncontended fetch-and-add into
+   domain-private cells - no global mutex, no cache-line ping-pong between
+   campaign workers.  Reads merge on demand: a counter's value is the sum
+   of its cell across every shard ever registered, a histogram's snapshot
+   is the bucket-wise sum.  Shards are never unregistered - a worker
+   domain's contributions survive its death, which is what makes totals
+   exact after [Domain.join].
+
+   Consistency model: merges performed while owner domains are still
+   mutating see a monotone, possibly slightly-stale view (counter cells
+   are [Atomic]; histogram fields are plain and may be mutually torn
+   mid-flight).  Merges performed after [Domain.join] - which is where
+   the pipeline takes its authoritative snapshots - are exact, because
+   join publishes every write of the joined domain.
+
+   Metric identity is a small integer id handed out by Metrics at
+   registration time; a shard's arrays are indexed by id and grown on
+   demand.  Growth preserves the existing [Atomic] cells (the new array
+   aliases them), so a merger holding a stale array still reads the live
+   cells for every id it knows about. *)
+
+let num_buckets = 63
+
+type hist = {
+  buckets : int array;  (* buckets.(i) counts values v with v <= 2^i *)
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_min : int;
+  mutable h_max : int;
+}
+
+let fresh_hist () =
+  {
+    buckets = Array.make num_buckets 0;
+    h_count = 0;
+    h_sum = 0;
+    h_min = max_int;
+    h_max = min_int;
+  }
+
+(* Bucket index: the smallest i with v <= 2^i (0 for v <= 1). *)
+let bucket_of v =
+  if v <= 1 then 0
+  else
+    let rec go i bound =
+      if v <= bound || i = num_buckets - 1 then i else go (i + 1) (bound * 2)
+    in
+    go 1 2
+
+let observe_hist h v =
+  h.buckets.(bucket_of v) <- h.buckets.(bucket_of v) + 1;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum + v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v
+
+let merge_hist ~src ~into =
+  Array.iteri (fun i n -> into.buckets.(i) <- into.buckets.(i) + n) src.buckets;
+  into.h_count <- into.h_count + src.h_count;
+  into.h_sum <- into.h_sum + src.h_sum;
+  if src.h_min < into.h_min then into.h_min <- src.h_min;
+  if src.h_max > into.h_max then into.h_max <- src.h_max
+
+type t = {
+  mutable counts : int Atomic.t array;  (* indexed by counter id *)
+  mutable hists : hist option array;  (* indexed by histogram id, lazy *)
+}
+
+(* All shards ever created, newest first.  Push is a CAS loop; readers
+   take whatever prefix is published (a shard registered concurrently
+   with a merge has, by definition, nothing the merge must see). *)
+let shards : t list Atomic.t = Atomic.make []
+
+let register sh =
+  let rec push () =
+    let old = Atomic.get shards in
+    if not (Atomic.compare_and_set shards old (sh :: old)) then push ()
+  in
+  push ()
+
+let initial_slots = 16
+
+let create () =
+  {
+    counts = Array.init initial_slots (fun _ -> Atomic.make 0);
+    hists = Array.make initial_slots None;
+  }
+
+let key =
+  Domain.DLS.new_key (fun () ->
+      let sh = create () in
+      register sh;
+      sh)
+
+let local () = Domain.DLS.get key
+
+(* Grow-on-demand.  Only the owning domain grows its own arrays, so the
+   copy is race-free; old Atomic cells are carried over by reference. *)
+let ensure_counts sh i =
+  let len = Array.length sh.counts in
+  if i >= len then begin
+    let len' = max (i + 1) (2 * len) in
+    let old = sh.counts in
+    sh.counts <-
+      Array.init len' (fun j -> if j < len then old.(j) else Atomic.make 0)
+  end
+
+let ensure_hists sh i =
+  let len = Array.length sh.hists in
+  if i >= len then begin
+    let len' = max (i + 1) (2 * len) in
+    let old = sh.hists in
+    sh.hists <- Array.init len' (fun j -> if j < len then old.(j) else None)
+  end
+
+let add sh cid n =
+  ensure_counts sh cid;
+  ignore (Atomic.fetch_and_add sh.counts.(cid) n)
+
+let observe sh hid v =
+  ensure_hists sh hid;
+  let h =
+    match sh.hists.(hid) with
+    | Some h -> h
+    | None ->
+        let h = fresh_hist () in
+        sh.hists.(hid) <- Some h;
+        h
+  in
+  observe_hist h v
+
+let counter_total cid =
+  List.fold_left
+    (fun acc sh ->
+      let cells = sh.counts in
+      if cid < Array.length cells then acc + Atomic.get cells.(cid) else acc)
+    0 (Atomic.get shards)
+
+let merged_hist hid =
+  let into = fresh_hist () in
+  List.iter
+    (fun sh ->
+      let cells = sh.hists in
+      if hid < Array.length cells then
+        match cells.(hid) with
+        | Some h -> merge_hist ~src:h ~into
+        | None -> ())
+    (Atomic.get shards);
+  into
+
+let num_shards () = List.length (Atomic.get shards)
+
+let reset () =
+  List.iter
+    (fun sh ->
+      Array.iter (fun c -> Atomic.set c 0) sh.counts;
+      Array.iter
+        (function
+          | Some h ->
+              Array.fill h.buckets 0 num_buckets 0;
+              h.h_count <- 0;
+              h.h_sum <- 0;
+              h.h_min <- max_int;
+              h.h_max <- min_int
+          | None -> ())
+        sh.hists)
+    (Atomic.get shards)

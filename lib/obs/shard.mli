@@ -1,0 +1,57 @@
+(** Per-domain metric shards: the storage layer under {!Metrics}.
+
+    Every domain that updates a counter or histogram does so in its own
+    shard (a [Domain.DLS] slot), making the hot path an uncontended
+    atomic add into domain-private cells.  Reads merge on demand across
+    all shards ever registered; shards outlive their domains, so totals
+    are exact after [Domain.join] (mid-run merges are monotone but may
+    be slightly stale).  Metric identity is the small integer id that
+    {!Metrics} assigns at registration. *)
+
+val num_buckets : int
+(** Log-scale bucket count shared with {!Metrics} (power-of-two bounds). *)
+
+type hist = {
+  buckets : int array;  (** [buckets.(i)] counts values [v <= 2^i] *)
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_min : int;
+  mutable h_max : int;
+}
+
+val fresh_hist : unit -> hist
+
+val bucket_of : int -> int
+(** The smallest [i] with [v <= 2^i] (0 for [v <= 1]), clamped to
+    [num_buckets - 1]. *)
+
+val observe_hist : hist -> int -> unit
+
+val merge_hist : src:hist -> into:hist -> unit
+(** Bucket-wise accumulate [src] into [into]. *)
+
+type t
+(** One domain's shard. *)
+
+val local : unit -> t
+(** The calling domain's shard, created and registered on first use. *)
+
+val add : t -> int -> int -> unit
+(** [add shard cid n] bumps counter id [cid] by [n] in [shard]. *)
+
+val observe : t -> int -> int -> unit
+(** [observe shard hid v] records [v] in histogram id [hid] in [shard]. *)
+
+val counter_total : int -> int
+(** Merge-on-read: the sum of a counter id across every shard. *)
+
+val merged_hist : int -> hist
+(** Merge-on-read: a fresh histogram accumulating every shard's cells
+    for this id. *)
+
+val num_shards : unit -> int
+(** Shards registered so far (shards are never unregistered). *)
+
+val reset : unit -> unit
+(** Zero every cell in every shard.  Exact only while other domains are
+    quiescent, like all whole-registry operations. *)

@@ -8,8 +8,11 @@
    a phase's share of e.g. guest instructions is attributed without any
    extra plumbing in the instrumented code.
 
-   Spans are meant for the orchestration layer and are not domain-safe;
-   worker domains should only touch Metrics (which is). *)
+   Spans are meant for the orchestration layer: the mutable stack below
+   belongs to the main domain.  Calls from worker domains are silent
+   no-ops ([with_span] still runs its body), so instrumented code shared
+   between the pipeline and parallel workers needs no guard of its own;
+   workers should only touch Metrics (which is domain-sharded). *)
 
 type span = {
   name : string;
@@ -29,7 +32,7 @@ let stack : live list ref = ref []
 let finished : span list ref = ref []  (* reversed roots *)
 
 let start name =
-  if Metrics.enabled () then
+  if Metrics.enabled () && Domain.is_main_domain () then
     stack :=
       {
         l_name = name;
@@ -49,6 +52,8 @@ let compute_deltas at_start =
   |> List.sort compare
 
 let stop () =
+  if not (Domain.is_main_domain ()) then ()
+  else
   match !stack with
   | [] -> ()
   | live :: rest ->
@@ -69,7 +74,7 @@ let stop () =
       | [] -> finished := sp :: !finished)
 
 let with_span name f =
-  if not (Metrics.enabled ()) then f ()
+  if not (Metrics.enabled () && Domain.is_main_domain ()) then f ()
   else begin
     start name;
     Fun.protect ~finally:stop f

@@ -1,6 +1,9 @@
 (** Nested wall-clock phase spans with parent attribution and per-span
-    counter deltas.  Not domain-safe: spans belong to the orchestration
-    layer; worker domains should only touch {!Metrics}. *)
+    counter deltas.  Spans belong to the main domain (the orchestration
+    layer): [start]/[stop] from worker domains are silent no-ops and
+    [with_span] just runs its body there, so the main domain's span tree
+    stays intact under concurrency; workers should only touch
+    {!Metrics}. *)
 
 type span = {
   name : string;

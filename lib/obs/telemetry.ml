@@ -1,0 +1,349 @@
+(* Live campaign telemetry: periodic registry+coverage snapshots
+   streamed as NDJSON, plus an optional progress display.
+
+   Cadence rule (see DESIGN.md "Live telemetry"): in deterministic mode
+   snapshots are driven by the virtual clock - guest instructions
+   retired - so the stream is a pure function of the seed and two runs
+   produce byte-identical files; otherwise a wall-clock period drives
+   them.  Phase boundaries always snapshot, which is what guarantees a
+   deterministic stream even when worker domains are running between
+   ticks: ticks only fire on the main domain, and phase boundaries sit
+   after the joins, where merged shard totals are exact and
+   order-independent.
+
+   Each NDJSON line carries counter totals plus their delta since the
+   previous snapshot, gauge values, histogram summaries, flight-recorder
+   ring stats, and any extra fields provided by the source hook (the
+   harness plugs the coverage frontier in there).  Deterministic mode
+   scrubs every metric whose unit is wall-derived
+   (Export.is_nondeterministic_unit) and omits wall stamps and rates.
+
+   The progress display is decoupled from the stream: the HUD may show
+   wall-derived rates even in deterministic mode because it writes to
+   stderr, never into the artifact. *)
+
+type progress = Off | Plain | Hud
+
+type state = {
+  mutable out : out_channel option;
+  mutable progress : progress;
+  mutable det : bool;
+  mutable interval : int;  (* det mode: guest instructions per snapshot *)
+  mutable period : float;  (* wall mode: seconds per snapshot *)
+  mutable seq : int;
+  mutable ticks : int;
+  mutable tests_done : int;
+  mutable total : int option;
+  mutable phase : string;
+  mutable start_wall : float;
+  mutable last_snap_vclock : int;
+  mutable last_snap_wall : float;
+  mutable prev_counters : (string, int) Hashtbl.t;
+  mutable prev_trials : int;
+  mutable prev_instr : int;
+  mutable hud_drawn : int;  (* lines drawn by the last HUD frame *)
+}
+
+let default_interval = 250_000
+let default_period = 1.0
+
+let st =
+  {
+    out = None;
+    progress = Off;
+    det = true;
+    interval = default_interval;
+    period = default_period;
+    seq = 0;
+    ticks = 0;
+    tests_done = 0;
+    total = None;
+    phase = "init";
+    start_wall = 0.;
+    last_snap_vclock = 0;
+    last_snap_wall = 0.;
+    prev_counters = Hashtbl.create 64;
+    prev_trials = 0;
+    prev_instr = 0;
+    hud_drawn = 0;
+  }
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+
+let instr_metric = "snowboard.vmm/instructions_retired"
+let trials_metric = "snowboard.sched/trials"
+
+let default_clock () =
+  match Metrics.value_by_name instr_metric with Some v -> v | None -> 0
+
+let clock : (unit -> int) ref = ref default_clock
+let source : (unit -> (string * Export.json) list) ref = ref (fun () -> [])
+let hud_hook : (unit -> string list) ref = ref (fun () -> [])
+
+let set_clock = function
+  | Some f -> clock := f
+  | None -> clock := default_clock
+
+let set_source = function
+  | Some f -> source := f
+  | None -> source := fun () -> []
+
+let set_hud = function
+  | Some f -> hud_hook := f
+  | None -> hud_hook := fun () -> []
+
+let set_total n = st.total <- n
+
+let configure ?out ?(progress = Off) ?(deterministic = true)
+    ?(interval = default_interval) ?(period = default_period) ~enabled:en () =
+  (match st.out with Some oc -> close_out oc | None -> ());
+  st.out <- Option.map open_out out;
+  st.progress <- progress;
+  st.det <- deterministic;
+  st.interval <- max 1 interval;
+  st.period <- (if period <= 0. then default_period else period);
+  st.seq <- 0;
+  st.ticks <- 0;
+  st.tests_done <- 0;
+  st.total <- None;
+  st.phase <- "init";
+  st.start_wall <- Unix.gettimeofday ();
+  st.last_snap_vclock <- 0;
+  st.last_snap_wall <- st.start_wall;
+  st.prev_counters <- Hashtbl.create 64;
+  st.prev_trials <- 0;
+  st.prev_instr <- 0;
+  st.hud_drawn <- 0;
+  Atomic.set enabled_flag en
+
+let snapshots () = st.seq
+
+(* ------------------------------------------------------------------ *)
+(* Rendering helpers.                                                  *)
+
+let human n =
+  let f = float_of_int n in
+  if n >= 10_000_000 then Printf.sprintf "%.1fM" (f /. 1e6)
+  else if n >= 10_000 then Printf.sprintf "%.1fk" (f /. 1e3)
+  else string_of_int n
+
+let fmt_eta seconds =
+  if seconds < 0. || seconds > 359_999. then "--:--"
+  else
+    let s = int_of_float seconds in
+    if s >= 3600 then Printf.sprintf "%d:%02d:%02d" (s / 3600) (s mod 3600 / 60) (s mod 60)
+    else Printf.sprintf "%02d:%02d" (s / 60) (s mod 60)
+
+let lookup name = match Metrics.value_by_name name with Some v -> v | None -> 0
+
+let hud_header ~now ~trials ~instr =
+  let elapsed = now -. st.start_wall in
+  let dt = now -. st.last_snap_wall in
+  let trials_rate =
+    if dt > 0. then float_of_int (trials - st.prev_trials) /. dt else 0.
+  in
+  let instr_rate =
+    if dt > 0. then float_of_int (instr - st.prev_instr) /. dt else 0.
+  in
+  let progress_part =
+    match st.total with
+    | Some total when total > 0 ->
+        let pct = 100. *. float_of_int st.tests_done /. float_of_int total in
+        let eta =
+          if st.tests_done > 0 && elapsed > 0. then
+            let per_test = elapsed /. float_of_int st.tests_done in
+            fmt_eta (per_test *. float_of_int (total - st.tests_done))
+          else "--:--"
+        in
+        Printf.sprintf "tests %d/%d (%.1f%%)  eta %s" st.tests_done total pct
+          eta
+    | _ -> Printf.sprintf "tests %d" st.tests_done
+  in
+  let line1 =
+    Printf.sprintf "snowboard ▸ phase %-12s %s" st.phase progress_part
+  in
+  let line2 =
+    Printf.sprintf
+      "  trials %s (%.1f/s)  instr %s (%s/s)  quarantined %d  faults %d  events %d"
+      (human trials) trials_rate (human instr)
+      (human (int_of_float instr_rate))
+      (lookup "snowboard.harness/quarantined")
+      (lookup "snowboard.sched/faults_injected")
+      (Event.stats ()).Event.st_seen
+  in
+  [ line1; line2 ]
+
+let render_progress ~now ~trials ~instr =
+  match st.progress with
+  | Off -> ()
+  | Plain ->
+      Printf.eprintf "[telemetry] seq=%d phase=%s tests=%d trials=%d vclock=%d\n%!"
+        (st.seq - 1) st.phase st.tests_done trials (!clock ())
+  | Hud ->
+      let lines = hud_header ~now ~trials ~instr @ !hud_hook () in
+      let b = Buffer.create 256 in
+      (* the last frame line carries no trailing newline, so a panel
+         sitting on the terminal's bottom row never scrolls the screen
+         between frames (which would desynchronise the rewind and leave
+         ghost panels behind); rewind is carriage-return + cursor-up *)
+      if st.hud_drawn > 1 then
+        Buffer.add_string b (Printf.sprintf "\r\027[%dA" (st.hud_drawn - 1))
+      else if st.hud_drawn = 1 then Buffer.add_char b '\r';
+      List.iteri
+        (fun i l ->
+          if i > 0 then Buffer.add_char b '\n';
+          Buffer.add_string b "\027[2K";
+          Buffer.add_string b l)
+        lines;
+      st.hud_drawn <- List.length lines;
+      output_string stderr (Buffer.contents b);
+      flush stderr
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots.                                                          *)
+
+let trials_per_sec_gauge =
+  lazy (Metrics.gauge ~unit_:"trials/s" "snowboard.harness/trials_per_sec")
+
+let snapshot_line ~reason ~now =
+  let samples = Metrics.dump () in
+  let keep (s : Metrics.sample) =
+    (not st.det)
+    ||
+    match s.Metrics.unit_ with
+    | Some u -> not (Export.is_nondeterministic_unit u)
+    | None -> true
+  in
+  let counters = ref [] and gauges = ref [] and hists = ref [] in
+  List.iter
+    (fun (s : Metrics.sample) ->
+      if keep s then
+        match s.Metrics.value with
+        | Metrics.Sample_counter v ->
+            if v <> 0 then begin
+              let prev =
+                match Hashtbl.find_opt st.prev_counters s.Metrics.name with
+                | Some p -> p
+                | None -> 0
+              in
+              counters :=
+                ( s.Metrics.name,
+                  Export.Obj [ ("v", Export.Int v); ("d", Export.Int (v - prev)) ]
+                )
+                :: !counters
+            end;
+            Hashtbl.replace st.prev_counters s.Metrics.name v
+        | Metrics.Sample_gauge v ->
+            if v <> 0 then gauges := (s.Metrics.name, Export.Int v) :: !gauges
+        | Metrics.Sample_hist h ->
+            if h.Metrics.count <> 0 then
+              hists :=
+                ( s.Metrics.name,
+                  Export.Obj
+                    [
+                      ("count", Export.Int h.Metrics.count);
+                      ("sum", Export.Int h.Metrics.sum);
+                      ("p50", Export.Int h.Metrics.p50);
+                      ("p99", Export.Int h.Metrics.p99);
+                    ] )
+                :: !hists)
+    samples;
+  let ev = Event.stats () in
+  let wall_fields =
+    if st.det then []
+    else
+      let dt = now -. st.last_snap_wall in
+      let trials = lookup trials_metric in
+      let instr = lookup instr_metric in
+      let trials_rate =
+        if dt > 0. then float_of_int (trials - st.prev_trials) /. dt else 0.
+      in
+      let instr_rate =
+        if dt > 0. then float_of_int (instr - st.prev_instr) /. dt else 0.
+      in
+      Metrics.set (Lazy.force trials_per_sec_gauge)
+        (int_of_float trials_rate);
+      [
+        ( "wall_ms",
+          Export.Int (int_of_float ((now -. st.start_wall) *. 1e3)) );
+        ( "rates",
+          Export.Obj
+            [
+              ("trials_per_s", Export.Float trials_rate);
+              ("instr_per_s", Export.Float instr_rate);
+            ] );
+      ]
+  in
+  Export.Obj
+    ([
+       ("schema", Export.String "snowboard-telemetry/1");
+       ("seq", Export.Int st.seq);
+       ("reason", Export.String reason);
+       ("phase", Export.String st.phase);
+       ("vclock", Export.Int (!clock ()));
+       ("ticks", Export.Int st.ticks);
+       ("tests", Export.Int st.tests_done);
+       ("counters", Export.Obj (List.rev !counters));
+       ("gauges", Export.Obj (List.rev !gauges));
+       ("hists", Export.Obj (List.rev !hists));
+       ( "events",
+         Export.Obj
+           [
+             ("seen", Export.Int ev.Event.st_seen);
+             ("dropped", Export.Int ev.Event.st_dropped);
+           ] );
+     ]
+    @ wall_fields @ !source ())
+
+let snapshot ?(reason = "forced") () =
+  if Atomic.get enabled_flag && Domain.is_main_domain () then begin
+    let now = Unix.gettimeofday () in
+    let line = snapshot_line ~reason ~now in
+    (match st.out with
+    | Some oc ->
+        output_string oc (Export.to_line line);
+        output_char oc '\n';
+        flush oc
+    | None -> ());
+    st.seq <- st.seq + 1;
+    let trials = lookup trials_metric in
+    let instr = lookup instr_metric in
+    render_progress ~now ~trials ~instr;
+    st.last_snap_vclock <- !clock ();
+    st.last_snap_wall <- now;
+    st.prev_trials <- trials;
+    st.prev_instr <- instr
+  end
+
+let phase name =
+  if Atomic.get enabled_flag && Domain.is_main_domain () then begin
+    st.phase <- name;
+    snapshot ~reason:"phase" ()
+  end
+
+let tick ?(tests = 0) () =
+  if Atomic.get enabled_flag && Domain.is_main_domain () then begin
+    st.ticks <- st.ticks + 1;
+    st.tests_done <- st.tests_done + tests;
+    if st.det then begin
+      if !clock () - st.last_snap_vclock >= st.interval then
+        snapshot ~reason:"interval" ()
+    end
+    else if Unix.gettimeofday () -. st.last_snap_wall >= st.period then
+      snapshot ~reason:"interval" ()
+  end
+
+let close () =
+  if Atomic.get enabled_flag && Domain.is_main_domain () then begin
+    snapshot ~reason:"final" ();
+    (* the HUD's last frame line has no newline; add one so the shell
+       prompt starts below the panel *)
+    if st.progress = Hud && st.hud_drawn > 0 then begin
+      output_char stderr '\n';
+      flush stderr
+    end;
+    (match st.out with Some oc -> close_out oc | None -> ());
+    st.out <- None;
+    Atomic.set enabled_flag false
+  end
