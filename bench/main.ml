@@ -19,6 +19,8 @@
      resilience  - supervision overhead + fault-injected campaign (BENCH_resilience.json)
      prepare     - dirty-page snapshots + multicore prepare (BENCH_prepare.json)
      exec        - interpreter throughput: legacy step vs sink vs block (BENCH_exec.json)
+     telemetry   - live telemetry streaming overhead (BENCH_telemetry.json)
+     provenance  - PMC provenance + guest profiler: identity, overhead (BENCH_provenance.json)
 
    Scaled-down parameters (a few hundred sequential tests rather than
    129,876; minutes rather than machine-weeks) are printed with each
@@ -1295,6 +1297,161 @@ let telemetry_bench () =
   | _ -> pf "wrote %s but it does not parse back as a JSON object@." path
 
 (* ------------------------------------------------------------------ *)
+(* E16: PMC provenance store + guest profiler                          *)
+
+(* Quantifies the observability layer added for [snowboard why]: a full
+   instrumented campaign (prepare profile phase + one explored method)
+   must produce byte-identical provenance and flamegraph artifacts on
+   every pass, and the always-on per-instruction attribution must cost
+   no more than 5% of campaign wall-clock.  Alternating min-of-[reps]
+   passes de-noise the overhead number, as in E15. *)
+let provenance_bench () =
+  section "E16: PMC provenance + guest profiler (BENCH_provenance.json)";
+  let det = !bench_deterministic in
+  let cfg =
+    {
+      (campaign_cfg Kernel.Config.v5_12_rc3) with
+      Harness.Pipeline.fuzz_iters = 600;
+      trials_per_test = 12;
+      seed = 7;
+    }
+  in
+  let budget = 80 in
+  let method_ = Core.Select.Strategy Core.Cluster.S_INS in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  (* one campaign = prepare (profile phase) + one explored method; the
+     artifact render happens outside [campaign] so the overhead number
+     isolates the per-instruction attribution cost, not the one-shot
+     serialisation --provenance-out pays at exit *)
+  let campaign ~profiler () =
+    Obs.Profguest.reset ();
+    Obs.Profguest.set_enabled profiler;
+    let t = Harness.Pipeline.prepare cfg in
+    let (_ : Harness.Pipeline.method_stats) =
+      Harness.Pipeline.run_method t method_ ~budget
+    in
+    t
+  in
+  let render t =
+    let prov =
+      Obs.Export.to_string
+        (Harness.Provenance.json t.Harness.Pipeline.prov
+           ~frontier:t.Harness.Pipeline.frontier)
+    in
+    let flame = String.concat "\n" (Obs.Profguest.flame_lines ()) in
+    Obs.Profguest.set_enabled false;
+    (prov, flame)
+  in
+  (* 1. artifact identity: two identical passes, byte-compared *)
+  let t = campaign ~profiler:true () in
+  let prov1, flame1 = render t in
+  let prov2, flame2 = render (campaign ~profiler:true ()) in
+  let prov_identical = prov1 = prov2 and flame_identical = flame1 = flame2 in
+  let num_pmcs = Harness.Provenance.num_pmcs t.Harness.Pipeline.prov in
+  let top_list name =
+    match Obs.Export.of_string_opt prov1 with
+    | Some (Obs.Export.Obj fields) -> (
+        match List.assoc_opt name fields with
+        | Some (Obs.Export.List l) -> Some l
+        | _ -> None)
+    | _ -> None
+  in
+  let parses_back = top_list "pmcs" <> None in
+  let tests_recorded =
+    match top_list "tests" with Some l -> List.length l | None -> 0
+  in
+  let profiler_functions =
+    match Obs.Export.of_string_opt prov1 with
+    | Some (Obs.Export.Obj fields) -> (
+        match List.assoc_opt "profiler" fields with
+        | Some (Obs.Export.Obj pf_fields) -> (
+            match List.assoc_opt "functions" pf_fields with
+            | Some (Obs.Export.List l) -> List.length l
+            | _ -> 0)
+        | _ -> 0)
+    | _ -> 0
+  in
+  let flame_line_count =
+    if flame1 = "" then 0
+    else List.length (String.split_on_char '\n' flame1)
+  in
+  let flame_wellformed =
+    flame1 <> ""
+    && List.for_all
+         (fun line -> String.contains line ';' && String.contains line ' ')
+         (String.split_on_char '\n' flame1)
+  in
+  pf "campaign: %d PMCs, %d tests recorded, %d profiled functions, %d flame lines@."
+    num_pmcs tests_recorded profiler_functions flame_line_count;
+  pf "provenance artifact byte-identical across passes: %b; parses back: %b@."
+    prov_identical parses_back;
+  pf "flamegraph byte-identical across passes: %b; lines well-formed: %b@."
+    flame_identical flame_wellformed;
+  (* 2. profiler overhead: the same campaign with attribution off vs on,
+     alternating, min-of-[reps] per mode.  min-of-N discards scheduler
+     noise; the short campaign still retires ~10^5 attributed
+     instructions per pass. *)
+  ignore (campaign ~profiler:false ()) (* warm-up *);
+  Obs.Profguest.set_enabled false;
+  let reps = 5 in
+  let dt_off = ref infinity and dt_on = ref infinity in
+  for _ = 1 to reps do
+    dt_off :=
+      min !dt_off (snd (time (fun () -> ignore (campaign ~profiler:false ()))));
+    dt_on :=
+      min !dt_on (snd (time (fun () -> ignore (campaign ~profiler:true ()))));
+    Obs.Profguest.set_enabled false
+  done;
+  let overhead_pct = 100. *. ((!dt_on /. max 1e-9 !dt_off) -. 1.) in
+  let within = overhead_pct <= 5.0 in
+  pf "campaign: profiler off %.3fs, on %.3fs (overhead %+.2f%%; within <=5%% budget: %b)@."
+    !dt_off !dt_on overhead_pct within;
+  let open Obs.Export in
+  let json =
+    Obj
+      ([
+         ("experiment", String "provenance");
+         ("deterministic", Bool det);
+         ("seed", Int cfg.Harness.Pipeline.seed);
+         ("budget", Int budget);
+         ("method", String (Core.Select.method_name method_));
+         ("num_pmcs", Int num_pmcs);
+         ("tests_recorded", Int tests_recorded);
+         ("profiler_functions", Int profiler_functions);
+         ("flame_lines", Int flame_line_count);
+         ("flame_wellformed", Bool flame_wellformed);
+         ("provenance_identical", Bool prov_identical);
+         ("flame_identical", Bool flame_identical);
+         ("provenance_parses", Bool parses_back);
+         ("overhead_budget_pct", Float 5.0);
+       ]
+      @
+      if det then []
+      else
+        [
+          ("campaign_off_s", Float !dt_off);
+          ("campaign_on_s", Float !dt_on);
+          ("overhead_pct", Float overhead_pct);
+          ("overhead_within_budget", Bool within);
+        ])
+  in
+  let path = "BENCH_provenance.json" in
+  write_file path json;
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let body = really_input_string ic n in
+  close_in ic;
+  match of_string_opt body with
+  | Some (Obj fields) ->
+      pf "wrote %s (%d bytes, %d fields, parses back OK)@." path n
+        (List.length fields)
+  | _ -> pf "wrote %s but it does not parse back as a JSON object@." path
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1314,6 +1471,7 @@ let experiments =
     ("prepare", prepare_bench);
     ("exec", exec_bench);
     ("telemetry", telemetry_bench);
+    ("provenance", provenance_bench);
   ]
 
 let () =

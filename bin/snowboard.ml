@@ -422,16 +422,45 @@ let summary_out_arg =
            supervision outcomes) to $(docv); deterministic for a given \
            configuration.")
 
+let flame_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flame-out" ] ~docv:"FILE"
+        ~doc:
+          "Enable the guest profiler and write a collapsed-stack flamegraph \
+           (one \"phase;function count\" line per frame, flamegraph.pl \
+           compatible) to $(docv) on completion; byte-identical across \
+           --jobs, --domains and --resume.")
+
+let provenance_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "provenance-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the PMC provenance artifact (snowboard-provenance/1 JSON: \
+           per-PMC attribution, cluster assignments, selection verdicts and \
+           Algorithm 2 hint outcomes) to $(docv) on completion; 'snowboard \
+           why' reads it.  Byte-identical across --jobs, --domains and \
+           --resume.")
+
 exception Interrupted
 
 let run_campaign kernel seed iters trials budget methods seeded domains jobs
     log verbose corpus_file fault_spec watchdog max_retries checkpoint resume
-    stop_after summary_out (_ : telem) (_ : obs) =
+    stop_after summary_out flame_out provenance_out (_ : telem) (_ : obs) =
   setup_logs ~debug:verbose ~info:log ();
   if resume && checkpoint = None then
     fail_cli "--resume requires --checkpoint FILE";
   if stop_after <> None && domains > 1 then
     fail_cli "--stop-after requires --domains 1 (deterministic interruption)";
+  (* either artifact flag turns the guest profiler on for the whole
+     campaign; reset first so repeated in-process campaigns stay clean *)
+  if flame_out <> None || provenance_out <> None then begin
+    Obs.Profguest.reset ();
+    Obs.Profguest.set_enabled true
+  end;
   let faults = Option.map (fun spec -> Sched.Fault.plan ~seed spec) fault_spec in
   let sup =
     {
@@ -550,6 +579,19 @@ let run_campaign kernel seed iters trials budget methods seeded domains jobs
           Obs.Export.write_file path summary;
           pf "summary written to %s@." path
       | None -> ());
+      (* observability artifacts describe completed campaigns only — an
+         interrupted run (exit 10) resumes and writes them then *)
+      (match flame_out with
+      | Some path ->
+          Obs.Profguest.write_flame path;
+          pf "flamegraph written to %s@." path
+      | None -> ());
+      (match provenance_out with
+      | Some path ->
+          Harness.Provenance.write t.Harness.Pipeline.prov
+            ~frontier:t.Harness.Pipeline.frontier path;
+          pf "provenance written to %s@." path
+      | None -> ());
       (* exit-code taxonomy: 3 = the harness degraded (lost work), 2 =
          clean run that found bugs, 0 = clean and silent.  Degradation
          dominates: a degraded campaign's findings are a lower bound. *)
@@ -578,7 +620,7 @@ let campaign_cmd =
       $ verbose_log
       $ corpus_in $ inject_faults_arg $ watchdog_arg $ max_retries_arg
       $ checkpoint_arg $ resume_arg $ stop_after_arg $ summary_out_arg
-      $ telemetry_term $ obs_term)
+      $ flame_out_arg $ provenance_out_arg $ telemetry_term $ obs_term)
 
 (* ---------------- repro ---------------- *)
 
@@ -993,6 +1035,318 @@ let explain_cmd =
       const run_explain $ version $ replay_arg_t $ issue_opt_arg
       $ trace_out_arg $ text_out_arg $ logging_term $ obs_term)
 
+(* ---------------- why ---------------- *)
+
+(* Answer provenance queries from a snowboard-provenance/1 artifact
+   (campaign --provenance-out).  Pure reader: no VM, no re-execution —
+   the dossiers are joins over the stored JSON. *)
+
+let jint = function Some (J.Int i) -> Some i | _ -> None
+let jbool = function Some (J.Bool b) -> Some b | _ -> None
+let jlist = function Some (J.List l) -> l | _ -> []
+let jobj = function Some (J.Obj kvs) -> kvs | _ -> []
+let jints v = List.filter_map (function J.Int i -> Some i | _ -> None) (jlist v)
+let jint0 v = Option.value ~default:0 (jint v)
+let jstr v = Option.value ~default:"?" (jstring v)
+
+let load_provenance path =
+  if not (Sys.file_exists path) then fail_cli "%s: no such file" path;
+  match J.of_string_opt (read_file path) with
+  | None -> fail_cli "%s: not valid JSON" path
+  | Some doc -> (
+      match jstring (jfield "schema" doc) with
+      | Some s when s = Harness.Provenance.schema -> doc
+      | Some s -> fail_cli "%s: unsupported provenance schema %S" path s
+      | None ->
+          fail_cli
+            "%s: not a provenance artifact (run 'campaign --provenance-out' \
+             to produce one)"
+            path)
+
+let find_by_id lst id =
+  List.find_opt (fun o -> jint (jfield "id" o) = Some id) lst
+
+let why_print_test t =
+  let issues = jints (jfield "issues" t) in
+  pf "  test #%d: %s plan index %d, writer test %d + reader test %d@."
+    (jint0 (jfield "id" t))
+    (jstr (jfield "method" t))
+    (jint0 (jfield "index" t))
+    (jint0 (jfield "writer" t))
+    (jint0 (jfield "reader" t));
+  pf "    outcome %s (%d retries), %d trials, hinted PMC %s, exercised %s@."
+    (jstr (jfield "outcome" t))
+    (jint0 (jfield "retries" t))
+    (jint0 (jfield "trials" t))
+    (match jint (jfield "pmc" t) with
+    | Some p -> "#" ^ string_of_int p
+    | None -> "none")
+    (if jbool (jfield "exercised" t) = Some true then "yes" else "no");
+  pf "    hint hits %d; misses: %d %s, %d %s, %d %s@."
+    (jint0 (jfield "hint_hits" t))
+    (jint0 (jfield "miss_no_write" t))
+    Sched.Explore.miss_reason_no_write
+    (jint0 (jfield "miss_no_read" t))
+    Sched.Explore.miss_reason_no_read
+    (jint0 (jfield "miss_value" t))
+    Sched.Explore.miss_reason_value;
+  if issues <> [] then
+    pf "    issues found: %s@."
+      (String.concat ", " (List.map (fun i -> "#" ^ string_of_int i) issues))
+
+let why_pmc doc id =
+  let p =
+    match find_by_id (jlist (jfield "pmcs" doc)) id with
+    | Some p -> p
+    | None ->
+        fail_cli "no PMC #%d in this artifact (%d identified)" id
+          (jint0 (jfield "num_pmcs" doc))
+  in
+  let side label s =
+    pf "  %-6s %s  (pc %d, addr 0x%x, size %d, value %d)@." label
+      (jstr (jfield "fn" s))
+      (jint0 (jfield "ins" s))
+      (jint0 (jfield "addr" s))
+      (jint0 (jfield "size" s))
+      (jint0 (jfield "value" s))
+  in
+  pf "PMC #%d%s@." id
+    (if jbool (jfield "df_leader" p) = Some true then
+       " (dataflow-cluster leader)"
+     else "");
+  (match jfield "write" p with Some s -> side "write" s | None -> ());
+  (match jfield "read" p with Some s -> side "read" s | None -> ());
+  let pairs = jlist (jfield "pairs" p) in
+  pf "  stored in %d sequential test pair(s): %s@." (List.length pairs)
+    (String.concat ", "
+       (List.map
+          (fun pr ->
+            Printf.sprintf "%d/%d"
+              (jint0 (jfield "writer" pr))
+              (jint0 (jfield "reader" pr)))
+          pairs));
+  pf "  clusters:%s@."
+    (String.concat ""
+       (List.map
+          (fun (s, ids) ->
+            Printf.sprintf " %s:%s" s
+              (String.concat ","
+                 (List.map string_of_int (jints (Some ids)))))
+          (jobj (jfield "clusters" p))));
+  pf "  selection verdicts:@.";
+  List.iter
+    (fun (s, v) -> pf "    %-16s %s@." s (jstr (Some v)))
+    (jobj (jfield "verdicts" p));
+  let hinted = jints (jfield "tests" p) in
+  let misses = jfield "misses" p in
+  let miss k = jint0 (jfield k (Option.value ~default:J.Null misses)) in
+  pf "  hinted %d concurrent test(s); channel exercised: %s@."
+    (List.length hinted)
+    (if jbool (jfield "exercised" p) = Some true then "yes" else "no");
+  pf "  hint outcome over all trials: %d hits; misses: %d %s, %d %s, %d %s@."
+    (jint0 (jfield "hint_hits" p))
+    (miss "no_write") Sched.Explore.miss_reason_no_write
+    (miss "no_read") Sched.Explore.miss_reason_no_read
+    (miss "value") Sched.Explore.miss_reason_value;
+  let tests = jlist (jfield "tests" doc) in
+  List.iter
+    (fun gid ->
+      match find_by_id tests gid with Some t -> why_print_test t | None -> ())
+    hinted;
+  p
+
+(* "S-CH:3" -> strategy block + cluster record *)
+let why_cluster doc spec =
+  let strat, cid =
+    match String.rindex_opt spec ':' with
+    | Some i -> (
+        let s = String.sub spec 0 i in
+        let n = String.sub spec (i + 1) (String.length spec - i - 1) in
+        match int_of_string_opt n with
+        | Some cid -> (s, cid)
+        | None -> fail_cli "bad --cluster %S (expected STRATEGY:ID)" spec)
+    | None -> fail_cli "bad --cluster %S (expected STRATEGY:ID)" spec
+  in
+  let block =
+    match
+      List.find_opt
+        (fun b -> jstring (jfield "strategy" b) = Some strat)
+        (jlist (jfield "clusters" doc))
+    with
+    | Some b -> b
+    | None ->
+        fail_cli "no strategy %S in this artifact (try e.g. S-CH, S-INS)"
+          strat
+  in
+  let c =
+    match find_by_id (jlist (jfield "clusters" block)) cid with
+    | Some c -> c
+    | None ->
+        fail_cli "no cluster %s:%d (strategy has %d clusters)" strat cid
+          (jint0 (jfield "total" block))
+  in
+  let members = jints (jfield "pmcs" c) in
+  pf "cluster %s:%d  key [%s], %d member PMC(s): %s@." strat cid
+    (String.concat ", " (List.map string_of_int (jints (jfield "key" c))))
+    (jint0 (jfield "size" c))
+    (String.concat ", " (List.map (fun i -> "#" ^ string_of_int i) members));
+  (match (jbool (jfield "tested" c), jstring (jfield "why" c)) with
+  | Some true, _ ->
+      pf "  tested: yes — a hinted test covered this cluster key@."
+  | _, Some why -> pf "  tested: no — %s@." why
+  | _ -> pf "  tested: no@.");
+  (* the member PMCs' hinted tests are the cluster's evidence trail *)
+  let tests = jlist (jfield "tests" doc) in
+  let pmcs = jlist (jfield "pmcs" doc) in
+  List.iter
+    (fun mid ->
+      match find_by_id pmcs mid with
+      | None -> ()
+      | Some p ->
+          List.iter
+            (fun gid ->
+              match find_by_id tests gid with
+              | Some t -> why_print_test t
+              | None -> ())
+            (jints (jfield "tests" p)))
+    members;
+  c
+
+let why_test doc id =
+  match find_by_id (jlist (jfield "tests" doc)) id with
+  | Some t ->
+      why_print_test t;
+      t
+  | None -> fail_cli "no test #%d in this artifact" id
+
+let why_hot doc =
+  let rows =
+    List.map
+      (fun r ->
+        let pi = jint0 (jfield "profile_instr" r)
+        and ei = jint0 (jfield "explore_instr" r) in
+        ( pi + ei,
+          jstr (jfield "fn" r),
+          pi,
+          jint0 (jfield "profile_shared" r),
+          ei,
+          jint0 (jfield "explore_shared" r) ))
+      (jlist (jfield "functions" (Option.value ~default:J.Null (jfield "profiler" doc))))
+    |> List.sort (fun (ta, na, _, _, _, _) (tb, nb, _, _, _, _) ->
+           match compare tb ta with 0 -> compare na nb | c -> c)
+  in
+  pf "%-28s %12s %12s %12s %12s@." "function" "prof-instr" "prof-shared"
+    "expl-instr" "expl-shared";
+  List.iter
+    (fun (_, fn, pi, ps, ei, es) -> pf "%-28s %12d %12d %12d %12d@." fn pi ps ei es)
+    rows
+
+let why_overview doc =
+  pf "provenance artifact: %d PMCs, %d tests across %d methods@."
+    (jint0 (jfield "num_pmcs" doc))
+    (List.length (jlist (jfield "tests" doc)))
+    (List.length (jlist (jfield "methods" doc)));
+  List.iter
+    (fun m ->
+      pf "  %-20s %d clusters, %d planned tests@."
+        (jstr (jfield "method" m))
+        (jint0 (jfield "num_clusters" m))
+        (jint0 (jfield "planned" m)))
+    (jlist (jfield "methods" doc));
+  pf "@.untested-cluster frontier (why):@.";
+  List.iter
+    (fun b ->
+      let cls = jlist (jfield "clusters" b) in
+      let untested =
+        List.filter (fun c -> jbool (jfield "tested" c) <> Some true) cls
+      in
+      let count w =
+        List.length
+          (List.filter (fun c -> jstring (jfield "why" c) = Some w) untested)
+      in
+      pf "  %-16s %d/%d tested; untested: %d planned-but-not-executed, %d \
+          beyond-budget, %d method-not-run@."
+        (jstr (jfield "strategy" b))
+        (List.length cls - List.length untested)
+        (List.length cls)
+        (count "planned-but-not-executed")
+        (count "beyond-budget") (count "method-not-run"))
+    (jlist (jfield "clusters" doc))
+
+let run_why from pmc cluster test hot json_out () (_ : obs) =
+  let doc = load_provenance from in
+  let selected =
+    match (pmc, cluster, test) with
+    | Some id, None, None -> why_pmc doc id
+    | None, Some spec, None -> why_cluster doc spec
+    | None, None, Some id -> why_test doc id
+    | None, None, None ->
+        if not hot then why_overview doc;
+        doc
+    | _ -> fail_cli "--pmc, --cluster and --test are mutually exclusive"
+  in
+  if hot then why_hot doc;
+  if json_out then pf "%s@." (J.to_string selected)
+
+let why_from_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "from" ] ~docv:"FILE"
+        ~doc:
+          "The provenance artifact written by 'campaign --provenance-out'.")
+
+let why_pmc_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "pmc" ] ~docv:"ID"
+        ~doc:
+          "Dossier for this PMC: writer/reader attribution, stored pairs, \
+           cluster assignments, per-strategy selection verdicts and the \
+           Algorithm 2 hit/miss record of every hinted test.")
+
+let why_cluster_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cluster" ] ~docv:"STRATEGY:ID"
+        ~doc:
+          "Dossier for one cluster (e.g. S-CH:3): members, tested-or-why-not \
+           and the member PMCs' test evidence.")
+
+let why_test_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "test" ] ~docv:"ID"
+        ~doc:"Dossier for one concurrent test (global 1-based id).")
+
+let why_hot_arg =
+  Arg.(
+    value & flag
+    & info [ "hot" ]
+        ~doc:
+          "Print the guest profiler's hot-function table (needs a campaign \
+           run with --flame-out or --provenance-out).")
+
+let why_json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:"Also print the selected record (or whole artifact) as JSON.")
+
+let why_cmd =
+  Cmd.v
+    (Cmd.info "why"
+       ~doc:
+         "Explain a campaign from its provenance artifact: where a PMC came \
+          from, how it clustered, whether it was selected or deduplicated, \
+          and why hinted schedules hit or missed.")
+    Term.(
+      const run_why $ why_from_arg $ why_pmc_arg $ why_cluster_arg
+      $ why_test_arg $ why_hot_arg $ why_json_arg $ logging_term $ obs_term)
+
 (* ---------------- verify ---------------- *)
 
 let bound_arg =
@@ -1125,5 +1479,5 @@ let () =
        (Cmd.group info
           [
             fuzz_cmd; identify_cmd; campaign_cmd; repro_cmd; diagnose_cmd;
-            explain_cmd; verify_cmd; three_cmd; issues_cmd;
+            explain_cmd; why_cmd; verify_cmd; three_cmd; issues_cmd;
           ]))

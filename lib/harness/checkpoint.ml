@@ -9,7 +9,11 @@
 module J = Obs.Export
 module Prog = Fuzzer.Prog
 
-let schema = "snowboard/checkpoint/v1"
+(* v2 added the Algorithm 2 hint-outcome tallies and the guest-profiler
+   rows to every entry; older journals are rejected (the fingerprint
+   discipline already forces a fresh campaign on any config drift, and a
+   v1 journal cannot reconstruct provenance or flamegraph artifacts). *)
+let schema = "snowboard/checkpoint/v2"
 
 type entry = { ck_method : string; ck_result : Pipeline.test_result }
 
@@ -67,6 +71,16 @@ let json_of_entry e =
         ("unknown", J.Int r.Pipeline.tr_unknown);
         ("trials", J.Int r.Pipeline.tr_trials);
         ("steps", J.Int r.Pipeline.tr_steps);
+        ("hint_hits", J.Int r.Pipeline.tr_hint_hits);
+        ("miss_no_write", J.Int r.Pipeline.tr_miss_no_write);
+        ("miss_no_read", J.Int r.Pipeline.tr_miss_no_read);
+        ("miss_value", J.Int r.Pipeline.tr_miss_value);
+        ( "prof",
+          J.List
+            (List.map
+               (fun (fn, instr, shared) ->
+                 J.List [ J.String fn; J.Int instr; J.Int shared ])
+               r.Pipeline.tr_prof) );
         ( "bug",
           match r.Pipeline.tr_bug with
           | None -> J.Null
@@ -128,6 +142,10 @@ let prog_of_field o name =
   | Some p -> p
   | None -> bad "field %S: malformed program %S" name line
 
+let prof_row_of_json = function
+  | J.List [ J.String fn; J.Int instr; J.Int shared ] -> (fn, instr, shared)
+  | _ -> bad "field \"prof\": expected [function, instr, shared] rows"
+
 let bug_of_json o =
   {
     Pipeline.br_issues =
@@ -153,6 +171,12 @@ let entry_of_json o =
       tr_unknown = int_field o "unknown";
       tr_trials = int_field o "trials";
       tr_steps = int_field o "steps";
+      tr_hint_hits = int_field o "hint_hits";
+      tr_miss_no_write = int_field o "miss_no_write";
+      tr_miss_no_read = int_field o "miss_no_read";
+      tr_miss_value = int_field o "miss_value";
+      tr_prof =
+        List.map prof_row_of_json (to_list "prof" (get_field o "prof"));
       tr_bug =
         (match get_field o "bug" with
         | J.Null -> None

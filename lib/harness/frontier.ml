@@ -73,6 +73,26 @@ let trials t = t.trials
 let tested sc = Hashtbl.length sc.sc_seen
 let frontier_of sc = sc.sc_total - tested sc
 
+let find_strat t strategy =
+  List.find_opt (fun sc -> sc.sc_strategy = strategy) t.strategies
+
+(* Point queries for the provenance layer: has this cluster key been
+   covered by any noted test (under any method)? *)
+let is_tested t strategy key =
+  match find_strat t strategy with
+  | None -> false
+  | Some sc -> Hashtbl.mem sc.sc_seen key
+
+let untested_keys t strategy =
+  match find_strat t strategy with
+  | None -> []
+  | Some sc ->
+      Hashtbl.fold
+        (fun key () acc ->
+          if Hashtbl.mem sc.sc_seen key then acc else key :: acc)
+        sc.sc_member []
+      |> List.sort compare
+
 let frontier t =
   List.map (fun sc -> (sc.sc_strategy, frontier_of sc)) t.strategies
 

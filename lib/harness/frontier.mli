@@ -28,6 +28,15 @@ val frontier : t -> (Core.Cluster.strategy * int) list
 (** Untested clusters remaining per strategy, in {!Core.Cluster.all}
     order. *)
 
+val is_tested : t -> Core.Cluster.strategy -> Core.Cluster.key -> bool
+(** Has this cluster key been covered by any noted test, under any
+    method?  The provenance layer's "why is this cluster untested"
+    queries start here. *)
+
+val untested_keys : t -> Core.Cluster.strategy -> Core.Cluster.key list
+(** The frontier itself: cluster keys of this strategy not yet tested,
+    sorted. *)
+
 val tests_to_find : t -> (int * int) list
 (** Issue id paired with the ordinal of the noted test that first found
     it, sorted by issue id. *)

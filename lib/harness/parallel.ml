@@ -61,6 +61,11 @@ let shard_failure tests exn =
         tr_unknown = 0;
         tr_trials = 0;
         tr_steps = 0;
+        tr_hint_hits = 0;
+        tr_miss_no_write = 0;
+        tr_miss_no_read = 0;
+        tr_miss_value = 0;
+        tr_prof = [];
         tr_bug = None;
       })
     tests
@@ -78,6 +83,9 @@ let run_method ?(kind = Sched.Explore.Snowboard) ?domains ?sup ?faults
   let domains = match domains with Some d -> max 1 d | None -> default_domains () in
   Obs.Telemetry.phase ("execute:" ^ Core.Select.method_name method_);
   let plan = Pipeline.plan_method t method_ ~budget in
+  Provenance.note_plan t.Pipeline.prov
+    ~method_:(Core.Select.method_name method_) ~plan;
+  Obs.Profguest.set_phase (Some Obs.Profguest.Explore);
   (* snapshot the programs into a plain lookup the domains can share *)
   let progs : (int, Fuzzer.Prog.t) Hashtbl.t = Hashtbl.create 64 in
   List.iter
@@ -121,25 +129,25 @@ let run_method ?(kind = Sched.Explore.Snowboard) ?domains ?sup ?faults
            try Domain.join w with e -> shard_failure sh e)
   in
   let all = stored @ results in
-  (* Frontier notes happen here on the coordinator, after the joins, in
-     plan order — so the coverage table is byte-identical to the
+  (* Frontier and provenance notes happen here on the coordinator, after
+     the joins, in plan order — so the coverage table, the provenance
+     artifact and the explore-phase flamegraph are byte-identical to the
      sequential runner's for any worker count. *)
-  let hint_of_index = Hashtbl.create 64 in
+  let ct_of_index = Hashtbl.create 64 in
   List.iter
     (fun (index, (ct : Core.Select.conc_test)) ->
-      Hashtbl.replace hint_of_index index ct.Core.Select.hint)
+      Hashtbl.replace ct_of_index index ct)
     indexed;
   List.iter
     (fun (r : Pipeline.test_result) ->
-      let hint =
-        Option.join (Hashtbl.find_opt hint_of_index r.Pipeline.tr_index)
-      in
-      Frontier.note t.Pipeline.frontier ?hint ~issues:r.Pipeline.tr_issues
-        ~trials:r.Pipeline.tr_trials ())
+      match Hashtbl.find_opt ct_of_index r.Pipeline.tr_index with
+      | Some ct -> Pipeline.note_result t ~method_ ct r
+      | None -> ())
     (List.sort
        (fun (a : Pipeline.test_result) b ->
          compare a.Pipeline.tr_index b.Pipeline.tr_index)
        all);
+  Obs.Profguest.set_phase None;
   Obs.Telemetry.tick ~tests:(List.length all) ();
   Pipeline.stats_of_results ~method_
     ~num_clusters:plan.Core.Select.num_clusters

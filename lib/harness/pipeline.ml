@@ -53,6 +53,7 @@ type t = {
   profiles : Core.Profile.t list;
   ident : Core.Identify.t;
   frontier : Frontier.t;  (* online PMC-cluster coverage (Table 1) *)
+  prov : Provenance.t;  (* per-PMC provenance, filled as tests complete *)
   fuzz_steps : int;  (* guest instructions spent fuzzing *)
   profile_steps : int;
 }
@@ -167,12 +168,14 @@ let prepare cfg =
             fuzz ~seeds:cfg.seed_corpus env ~seed:cfg.seed ~iters:cfg.fuzz_iters)
       in
       Obs.Telemetry.phase "profile";
+      Obs.Profguest.set_phase (Some Obs.Profguest.Profile);
       let profiles, profile_steps =
         Obs.Span.with_span "profile" (fun () ->
             if cfg.jobs > 1 then
               profile_corpus_parallel ~jobs:cfg.jobs ~kernel:cfg.kernel corpus
             else profile_corpus env corpus)
       in
+      Obs.Profguest.set_phase None;
       Obs.Telemetry.phase "identify";
       let ident =
         Obs.Span.with_span "identify" (fun () -> Core.Identify.run profiles)
@@ -181,7 +184,20 @@ let prepare cfg =
           m "identification: %d profiles, %d PMCs" (List.length profiles)
             (Core.Identify.num_pmcs ident));
       let frontier = Frontier.create ident in
-      { cfg; env; corpus; profiles; ident; frontier; fuzz_steps; profile_steps })
+      let prov =
+        Provenance.create ~image:env.Exec.kern.Kernel.image ~ident
+      in
+      {
+        cfg;
+        env;
+        corpus;
+        profiles;
+        ident;
+        frontier;
+        prov;
+        fuzz_steps;
+        profile_steps;
+      })
 
 let prog_of_id t id =
   match Fuzzer.Corpus.find t.corpus id with
@@ -237,6 +253,14 @@ type test_result = {
   tr_unknown : int;  (* untriaged findings *)
   tr_trials : int;
   tr_steps : int;
+  tr_hint_hits : int;  (* trials whose hinted channel was exercised *)
+  tr_miss_no_write : int;  (* Algorithm 2 miss tallies, classified *)
+  tr_miss_no_read : int;
+  tr_miss_value : int;
+  tr_prof : (string * int * int) list;
+      (* guest-profiler rows (function, instr, shared); journaled with
+         the result and flushed exactly once at the note site, so
+         explore-phase profiles survive resume without double counting *)
   tr_bug : bug_report option;
 }
 
@@ -327,6 +351,11 @@ let run_one_test ~env ~ident ~(cfg : config) ~kind
                (Sched.Explore.findings_found res));
         tr_trials = List.length res.Sched.Explore.trials;
         tr_steps = res.Sched.Explore.total_steps;
+        tr_hint_hits = res.Sched.Explore.hint_hits;
+        tr_miss_no_write = res.Sched.Explore.miss_no_write;
+        tr_miss_no_read = res.Sched.Explore.miss_no_read;
+        tr_miss_value = res.Sched.Explore.miss_value;
+        tr_prof = res.Sched.Explore.prof;
         tr_bug = bug_of_result ~test_idx:index ~writer ~reader res;
       }
   | None ->
@@ -344,6 +373,11 @@ let run_one_test ~env ~ident ~(cfg : config) ~kind
         tr_unknown = 0;
         tr_trials = 0;
         tr_steps = 0;
+        tr_hint_hits = 0;
+        tr_miss_no_write = 0;
+        tr_miss_no_read = 0;
+        tr_miss_value = 0;
+        tr_prof = [];
         tr_bug = None;
       }
 
@@ -384,6 +418,25 @@ let stats_of_results ~method_ ~num_clusters ~planned results =
     outcomes = List.fold_left count_outcome zero_outcomes results;
   }
 
+(* Note one completed test everywhere it must land: the coverage
+   frontier, the provenance store and the explore-phase profiler cells.
+   Both runners call this exactly once per (method, index) on the
+   coordinator, in plan order, for fresh, parallel-shipped and resumed
+   results alike — the single-note discipline is what keeps frontier
+   blocks, provenance artifacts and flamegraphs byte-identical across
+   [--jobs] and [--resume]. *)
+let note_result t ~method_ (ct : Core.Select.conc_test) (r : test_result) =
+  Frontier.note t.frontier ?hint:ct.Core.Select.hint ~issues:r.tr_issues
+    ~trials:r.tr_trials ();
+  Provenance.note_test t.prov ~method_:(Core.Select.method_name method_)
+    ~index:r.tr_index ~writer:ct.Core.Select.writer
+    ~reader:ct.Core.Select.reader ~hint:ct.Core.Select.hint
+    ~outcome:(Supervise.outcome_name r.tr_outcome) ~retries:r.tr_retries
+    ~exercised:r.tr_exercised ~issues:r.tr_issues ~trials:r.tr_trials
+    ~hits:r.tr_hint_hits ~miss_no_write:r.tr_miss_no_write
+    ~miss_no_read:r.tr_miss_no_read ~miss_value:r.tr_miss_value;
+  Obs.Profguest.add_rows Obs.Profguest.Explore r.tr_prof
+
 let plan_method t method_ ~budget =
   let rng = Random.State.make [| t.cfg.seed + 7919 |] in
   let corpus_ids =
@@ -399,6 +452,8 @@ let run_method ?(kind = Sched.Explore.Snowboard) ?sup ?faults
   @@ fun () ->
   Obs.Telemetry.phase ("execute:" ^ Core.Select.method_name method_);
   let plan = plan_method t method_ ~budget in
+  Provenance.note_plan t.prov ~method_:(Core.Select.method_name method_) ~plan;
+  Obs.Profguest.set_phase (Some Obs.Profguest.Explore);
   let results =
     Obs.Span.with_span "execute" @@ fun () ->
     List.mapi
@@ -415,14 +470,15 @@ let run_method ?(kind = Sched.Explore.Snowboard) ?sup ?faults
               on_result r;
               r
         in
-        (* resumed results are noted too: the frontier must describe the
-           whole campaign, not just the work done since the checkpoint *)
-        Frontier.note t.frontier ?hint:ct.Core.Select.hint
-          ~issues:r.tr_issues ~trials:r.tr_trials ();
+        (* resumed results are noted too: the frontier and provenance
+           must describe the whole campaign, not just the work done
+           since the checkpoint *)
+        note_result t ~method_ ct r;
         Obs.Telemetry.tick ~tests:1 ();
         r)
       plan.Core.Select.tests
   in
+  Obs.Profguest.set_phase None;
   let stats =
     stats_of_results ~method_ ~num_clusters:plan.Core.Select.num_clusters
       ~planned:(List.length plan.Core.Select.tests) results

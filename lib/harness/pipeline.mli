@@ -30,6 +30,10 @@ type t = {
   frontier : Frontier.t;
       (** online PMC-cluster coverage over every Table 1 strategy; the
           sequential and parallel runners note each completed test *)
+  prov : Provenance.t;
+      (** per-PMC provenance (stored pairs, verdicts, hint outcomes),
+          filled through {!note_result} as tests complete and exported
+          with {!Provenance.write} *)
   fuzz_steps : int;  (** guest instructions spent fuzzing *)
   profile_steps : int;
 }
@@ -98,6 +102,16 @@ type test_result = {
   tr_unknown : int;  (** untriaged findings *)
   tr_trials : int;
   tr_steps : int;
+  tr_hint_hits : int;  (** trials whose hinted channel was exercised *)
+  tr_miss_no_write : int;
+      (** hinted misses classified {!Sched.Explore.miss_reason_no_write} *)
+  tr_miss_no_read : int;
+  tr_miss_value : int;
+  tr_prof : (string * int * int) list;
+      (** guest-profiler rows [(function, instr, shared)] from this
+          test's trials; journaled with the result and flushed exactly
+          once by {!note_result}, so explore-phase profiles survive
+          resume without double counting *)
   tr_bug : bug_report option;
 }
 (** The supervised record of one executed (or attempted) concurrent
@@ -154,6 +168,15 @@ val run_one_test :
     deterministic per-test seed [cfg.seed + 1000 * index].  Explicit
     environment/identification so parallel shard workers share this
     exact code path. *)
+
+val note_result :
+  t -> method_:Core.Select.method_ -> Core.Select.conc_test -> test_result -> unit
+(** Note one completed test everywhere it must land: the coverage
+    frontier, the provenance store and the explore-phase profiler cells.
+    Called exactly once per (method, index) on the coordinator, in plan
+    order, for fresh, parallel-shipped and resumed results alike — the
+    single-note discipline keeps frontier blocks, provenance artifacts
+    and flamegraphs byte-identical across [--jobs] and [--resume]. *)
 
 val plan_method : t -> Core.Select.method_ -> budget:int -> Core.Select.plan
 (** Build one method's concurrent-test plan (deterministic in the

@@ -1,0 +1,353 @@
+(* PMC provenance store: why every identified PMC ended up where it did.
+
+   The campaign runners note plans and per-test outcomes as they go; at
+   export time this module joins those notes with the identification
+   (writer/reader instructions attributed to function+offset), the
+   Table 1 cluster tables (assignments and per-strategy selection
+   verdicts) and the coverage frontier (why untested clusters are
+   untested), and renders one self-contained `snowboard-provenance/1`
+   JSON artifact.  `snowboard why` is a pure reader of that artifact.
+
+   Determinism: PMC ids are ranks in a canonical structural sort,
+   cluster ids are ranks in [Core.Cluster.ordered], notes are keyed (so
+   re-noting a resumed test replaces rather than duplicates) and every
+   list in the artifact is sorted — the artifact is byte-identical
+   across --jobs and --resume given the same campaign. *)
+
+module J = Obs.Export
+module Cluster = Core.Cluster
+module Select = Core.Select
+module Pmc = Core.Pmc
+
+let schema = "snowboard-provenance/1"
+
+(* Verdict / status vocabulary (also grepped by CI; keep stable). *)
+let v_selected = "selected"
+let v_deduplicated = "deduplicated"
+let v_beyond_budget = "beyond-budget"
+let v_filtered = "filtered"
+let v_method_not_run = "method-not-run"
+let u_planned_not_executed = "planned-but-not-executed"
+
+type plan_note = {
+  pn_num_clusters : int;
+  pn_tests : (int * int * int option) list;
+      (* (writer id, reader id, hinted provenance pmc id) in plan order *)
+}
+
+type test_note = {
+  tn_method : string;
+  tn_index : int;  (* 1-based index in its method's plan *)
+  tn_writer : int;
+  tn_reader : int;
+  tn_pmc : int option;  (* provenance id of the hint *)
+  tn_outcome : string;
+  tn_retries : int;
+  tn_exercised : bool;
+  tn_issues : int list;
+  tn_trials : int;
+  tn_hits : int;
+  tn_miss_no_write : int;
+  tn_miss_no_read : int;
+  tn_miss_value : int;
+}
+
+type t = {
+  image : Vmm.Asm.image;
+  ident : Core.Identify.t;
+  pmcs : Pmc.t array;  (* canonical order; index = provenance id *)
+  pmc_ids : (Pmc.t, int) Hashtbl.t;
+  mutable methods : string list;  (* noted methods, reversed *)
+  plans : (string, plan_note) Hashtbl.t;
+  tests : (string * int, test_note) Hashtbl.t;  (* (method, index) *)
+}
+
+(* Canonical PMC order: structural compare over the all-scalar record,
+   so ids depend only on the identification, never on hash layout. *)
+let create ~image ~(ident : Core.Identify.t) =
+  let pmcs =
+    Core.Identify.fold (fun pmc _ acc -> pmc :: acc) ident []
+    |> List.sort compare |> Array.of_list
+  in
+  let pmc_ids = Hashtbl.create (Array.length pmcs) in
+  Array.iteri (fun i p -> Hashtbl.replace pmc_ids p i) pmcs;
+  {
+    image;
+    ident;
+    pmcs;
+    pmc_ids;
+    methods = [];
+    plans = Hashtbl.create 16;
+    tests = Hashtbl.create 256;
+  }
+
+let num_pmcs t = Array.length t.pmcs
+let pmc_id t pmc = Hashtbl.find_opt t.pmc_ids pmc
+
+(* function+offset attribution of an instruction address, e.g.
+   "tunnel_ioctl+0x12"; total thanks to Asm.func_name's unknown form. *)
+let func_offset t pc =
+  let name = Vmm.Asm.func_name t.image pc in
+  match Hashtbl.find_opt t.image.Vmm.Asm.entries name with
+  | Some start when pc >= start -> Printf.sprintf "%s+0x%x" name (pc - start)
+  | _ -> name
+
+let note_plan t ~method_ ~(plan : Select.plan) =
+  if not (List.mem method_ t.methods) then t.methods <- method_ :: t.methods;
+  Hashtbl.replace t.plans method_
+    {
+      pn_num_clusters = plan.Select.num_clusters;
+      pn_tests =
+        List.map
+          (fun (ct : Select.conc_test) ->
+            ( ct.Select.writer,
+              ct.Select.reader,
+              Option.bind ct.Select.hint (pmc_id t) ))
+          plan.Select.tests;
+    }
+
+let note_test t ~method_ ~index ~writer ~reader ~hint ~outcome ~retries
+    ~exercised ~issues ~trials ~hits ~miss_no_write ~miss_no_read ~miss_value
+    =
+  Hashtbl.replace t.tests (method_, index)
+    {
+      tn_method = method_;
+      tn_index = index;
+      tn_writer = writer;
+      tn_reader = reader;
+      tn_pmc = Option.bind hint (pmc_id t);
+      tn_outcome = outcome;
+      tn_retries = retries;
+      tn_exercised = exercised;
+      tn_issues = issues;
+      tn_trials = trials;
+      tn_hits = hits;
+      tn_miss_no_write = miss_no_write;
+      tn_miss_no_read = miss_no_read;
+      tn_miss_value = miss_value;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Export-time joins.                                                  *)
+
+let noted_methods t = List.rev t.methods
+
+(* All test notes in campaign order (methods as noted, plan index
+   within), each paired with its global 1-based test id. *)
+let ordered_tests t =
+  let by_method m =
+    Hashtbl.fold
+      (fun (m', _) tn acc -> if m' = m then tn :: acc else acc)
+      t.tests []
+    |> List.sort (fun a b -> compare a.tn_index b.tn_index)
+  in
+  List.concat_map by_method (noted_methods t)
+  |> List.mapi (fun i tn -> (i + 1, tn))
+
+let strategy_method s = Select.method_name (Select.Strategy s)
+
+(* Selection verdict of one PMC under one Table 1 strategy. *)
+let verdict t pid strategy =
+  let pmc = t.pmcs.(pid) in
+  let keys = Cluster.keys strategy pmc in
+  if keys = [] then v_filtered
+  else
+    match Hashtbl.find_opt t.plans (strategy_method strategy) with
+    | None -> v_method_not_run
+    | Some plan ->
+        let hinted_pid =
+          List.filter_map (fun (_, _, h) -> h) plan.pn_tests
+        in
+        if List.mem pid hinted_pid then v_selected
+        else if
+          List.exists
+            (fun hid ->
+              List.exists
+                (fun k -> List.mem k (Cluster.keys strategy t.pmcs.(hid)))
+                keys)
+            hinted_pid
+        then v_deduplicated
+        else v_beyond_budget
+
+let json_of_side t (s : Pmc.side) =
+  J.Obj
+    [
+      ("ins", J.Int s.Pmc.ins);
+      ("fn", J.String (func_offset t s.Pmc.ins));
+      ("addr", J.Int s.Pmc.addr);
+      ("size", J.Int s.Pmc.size);
+      ("value", J.Int s.Pmc.value);
+    ]
+
+let json_of_test (gid, tn) =
+  J.Obj
+    [
+      ("id", J.Int gid);
+      ("method", J.String tn.tn_method);
+      ("index", J.Int tn.tn_index);
+      ("writer", J.Int tn.tn_writer);
+      ("reader", J.Int tn.tn_reader);
+      ("pmc", match tn.tn_pmc with None -> J.Null | Some p -> J.Int p);
+      ("outcome", J.String tn.tn_outcome);
+      ("retries", J.Int tn.tn_retries);
+      ("exercised", J.Bool tn.tn_exercised);
+      ("issues", J.List (List.map (fun i -> J.Int i) tn.tn_issues));
+      ("trials", J.Int tn.tn_trials);
+      ("hint_hits", J.Int tn.tn_hits);
+      ("miss_no_write", J.Int tn.tn_miss_no_write);
+      ("miss_no_read", J.Int tn.tn_miss_no_read);
+      ("miss_value", J.Int tn.tn_miss_value);
+    ]
+
+let json t ~(frontier : Frontier.t) =
+  let tests = ordered_tests t in
+  (* per-strategy cluster tables, each key mapped to its ordered rank *)
+  let strat_tables =
+    List.map
+      (fun strategy ->
+        let ordered = Cluster.ordered (Cluster.run strategy t.ident) in
+        let rank = Hashtbl.create 64 in
+        List.iteri (fun cid (key, _) -> Hashtbl.replace rank key cid) ordered;
+        (strategy, ordered, rank))
+      Cluster.all
+  in
+  let cluster_ids strategy rank pmc =
+    List.filter_map (Hashtbl.find_opt rank) (Cluster.keys strategy pmc)
+    |> List.sort_uniq compare
+  in
+  let pmc_json pid pmc =
+    let hinted =
+      List.filter (fun (_, tn) -> tn.tn_pmc = Some pid) tests
+    in
+    let sum f = List.fold_left (fun n (_, tn) -> n + f tn) 0 hinted in
+    J.Obj
+      [
+        ("id", J.Int pid);
+        ("write", json_of_side t pmc.Pmc.write);
+        ("read", json_of_side t pmc.Pmc.read);
+        ("df_leader", J.Bool pmc.Pmc.df_leader);
+        ( "pairs",
+          J.List
+            (List.map
+               (fun (w, r) ->
+                 J.Obj [ ("writer", J.Int w); ("reader", J.Int r) ])
+               (Core.Identify.pairs t.ident pmc)) );
+        ( "clusters",
+          J.Obj
+            (List.filter_map
+               (fun (strategy, _, rank) ->
+                 match cluster_ids strategy rank pmc with
+                 | [] -> None
+                 | ids ->
+                     Some
+                       ( Cluster.name strategy,
+                         J.List (List.map (fun i -> J.Int i) ids) ))
+               strat_tables) );
+        ( "verdicts",
+          J.Obj
+            (List.map
+               (fun (strategy, _, _) ->
+                 (Cluster.name strategy, J.String (verdict t pid strategy)))
+               strat_tables) );
+        ( "tests",
+          J.List (List.map (fun (gid, _) -> J.Int gid) hinted) );
+        ("hint_hits", J.Int (sum (fun tn -> tn.tn_hits)));
+        ( "misses",
+          J.Obj
+            [
+              ("no_write", J.Int (sum (fun tn -> tn.tn_miss_no_write)));
+              ("no_read", J.Int (sum (fun tn -> tn.tn_miss_no_read)));
+              ("value", J.Int (sum (fun tn -> tn.tn_miss_value)));
+            ] );
+        ( "exercised",
+          J.Bool (List.exists (fun (_, tn) -> tn.tn_exercised) hinted) );
+      ]
+  in
+  (* why is an untested cluster untested?  Joined against the frontier
+     (which saw every executed test) and the noted plans. *)
+  let why_untested strategy key =
+    match Hashtbl.find_opt t.plans (strategy_method strategy) with
+    | None -> v_method_not_run
+    | Some plan ->
+        let planned_hits_key hid =
+          List.mem key (Cluster.keys strategy t.pmcs.(hid))
+        in
+        if
+          List.exists
+            (fun (_, _, h) ->
+              match h with Some hid -> planned_hits_key hid | None -> false)
+            plan.pn_tests
+        then u_planned_not_executed
+        else v_beyond_budget
+  in
+  let cluster_block (strategy, ordered, _) =
+    J.Obj
+      [
+        ("strategy", J.String (Cluster.name strategy));
+        ("total", J.Int (List.length ordered));
+        ( "clusters",
+          J.List
+            (List.mapi
+               (fun cid (key, members) ->
+                 let tested = Frontier.is_tested frontier strategy key in
+                 J.Obj
+                   ([
+                      ("id", J.Int cid);
+                      ("key", J.List (List.map (fun k -> J.Int k) key));
+                      ("size", J.Int (List.length members));
+                      ( "pmcs",
+                        J.List
+                          (List.filter_map
+                             (fun p ->
+                               Option.map (fun i -> J.Int i) (pmc_id t p))
+                             members
+                          |> List.sort_uniq compare) );
+                      ("tested", J.Bool tested);
+                    ]
+                   @
+                   if tested then []
+                   else [ ("why", J.String (why_untested strategy key)) ]))
+               ordered) );
+      ]
+  in
+  let profiler_rows =
+    List.map
+      (fun (r : Obs.Profguest.row) ->
+        J.Obj
+          [
+            ("fn", J.String r.Obs.Profguest.r_name);
+            ("profile_instr", J.Int r.Obs.Profguest.r_profile_instr);
+            ("profile_shared", J.Int r.Obs.Profguest.r_profile_shared);
+            ("explore_instr", J.Int r.Obs.Profguest.r_explore_instr);
+            ("explore_shared", J.Int r.Obs.Profguest.r_explore_shared);
+          ])
+      (Obs.Profguest.rows ())
+  in
+  J.Obj
+    [
+      ("schema", J.String schema);
+      ("num_pmcs", J.Int (Array.length t.pmcs));
+      ( "methods",
+        J.List
+          (List.map
+             (fun m ->
+               let plan = Hashtbl.find t.plans m in
+               J.Obj
+                 [
+                   ("method", J.String m);
+                   ("num_clusters", J.Int plan.pn_num_clusters);
+                   ("planned", J.Int (List.length plan.pn_tests));
+                 ])
+             (noted_methods t)) );
+      ("tests", J.List (List.map json_of_test tests));
+      ("pmcs", J.List (List.mapi pmc_json (Array.to_list t.pmcs)));
+      ("clusters", J.List (List.map cluster_block strat_tables));
+      ( "profiler",
+        J.Obj
+          [
+            ("enabled", J.Bool (Obs.Profguest.enabled ()));
+            ("functions", J.List profiler_rows);
+          ] );
+    ]
+
+let write t ~frontier path = J.write_file path (json t ~frontier)

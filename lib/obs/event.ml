@@ -15,7 +15,12 @@ type kind =
   | Sched_point of { tid : int }
   | Hint_window of { pc : int; addr : int }
   | Hint_hit of { write : bool; pc : int; addr : int }
-  | Hint_miss
+  | Hint_miss of {
+      reason : string;
+      window_seen : bool;
+      last_write_pc : int;
+      last_write_addr : int;
+    }
   | Syscall_enter of { index : int; nr : int }
   | Syscall_exit of { index : int; ret : int }
   | Access of {
@@ -39,7 +44,7 @@ let kind_label = function
   | Sched_point _ -> "sched-point"
   | Hint_window _ -> "pmc-window"
   | Hint_hit _ -> "pmc-hit"
-  | Hint_miss -> "pmc-miss"
+  | Hint_miss _ -> "pmc-miss"
   | Syscall_enter _ -> "syscall-enter"
   | Syscall_exit _ -> "syscall-exit"
   | Access _ -> "access"

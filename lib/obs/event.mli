@@ -27,8 +27,21 @@ type kind =
       (** flags-set match: a PMC access is imminent (pmc_access_coming) *)
   | Hint_hit of { write : bool; pc : int; addr : int }
       (** an access matched a PMC under test (performed_pmc_access) *)
-  | Hint_miss
-      (** the trial ended without exercising the hinted channel *)
+  | Hint_miss of {
+      reason : string;
+          (** classified cause: ["write-never-executed"] (the hinted
+              write side never ran), ["reader-preempted"] (the write
+              landed but the reader never reached the hinted access) or
+              ["value-mismatch"] (both sides ran but the value read was
+              not the profiled one) *)
+      window_seen : bool;
+          (** whether Algorithm 2's pmc_access_coming window was entered *)
+      last_write_pc : int;  (** last shared write by the writer, or -1 *)
+      last_write_addr : int;  (** its address, or -1 *)
+    }
+      (** the trial ended without exercising the hinted channel; the
+          payload carries enough context that miss classification needs
+          no ring replay (label stays ["pmc-miss"]) *)
   | Syscall_enter of { index : int; nr : int }
   | Syscall_exit of { index : int; ret : int }
   | Access of {

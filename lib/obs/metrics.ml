@@ -92,6 +92,16 @@ let histogram ?unit_ name : histogram =
             { m_name = name; m_unit = unit_; m_value = Vhist id };
           id)
 
+(* A shard cell with no registry entry: gets all of Shard's per-domain
+   storage and exact merge-on-join, but never appears in [dump] or the
+   exporters.  Used by subsystems (the guest profiler) that own their own
+   export format. *)
+let unlisted_counter () : int =
+  with_lock (fun () ->
+      let id = !next_counter in
+      Stdlib.incr next_counter;
+      id)
+
 let add c n =
   if Atomic.get enabled_flag then Shard.add (Shard.local ()) c n
 

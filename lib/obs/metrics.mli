@@ -25,6 +25,14 @@ type counter
 
 val counter : ?unit_:string -> string -> counter
 
+val unlisted_counter : unit -> int
+(** A fresh raw {!Shard} cell id from the same id space as counters, but
+    with no registry entry: it never appears in [dump] or the exporters.
+    For subsystems (e.g. the guest profiler) that want sharded
+    exact-on-join accumulation under their own export format, updating
+    via [Shard.add] and reading via [Shard.counter_total].  [reset]
+    zeroes it like any other cell. *)
+
 val incr : counter -> unit
 
 val add : counter -> int -> unit

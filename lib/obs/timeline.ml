@@ -27,7 +27,7 @@ let event_name ev =
   | E.Sched_point _ -> "sched-point"
   | E.Hint_window _ -> "pmc-window"
   | E.Hint_hit { write; _ } -> if write then "pmc-hit W" else "pmc-hit R"
-  | E.Hint_miss -> "pmc-miss"
+  | E.Hint_miss { reason; _ } -> "pmc-miss (" ^ reason ^ ")"
   | E.Syscall_enter { nr; index } -> Printf.sprintf "syscall %d [%d]" nr index
   | E.Syscall_exit { index; _ } -> Printf.sprintf "syscall [%d]" index
   | E.Access { write; addr; ctx; _ } ->
@@ -53,7 +53,13 @@ let event_args ev =
   | E.Hint_window { pc; addr } -> [ ("pc", J.Int pc); ("addr", J.Int addr) ]
   | E.Hint_hit { write; pc; addr } ->
       [ ("write", J.Bool write); ("pc", J.Int pc); ("addr", J.Int addr) ]
-  | E.Hint_miss -> []
+  | E.Hint_miss { reason; window_seen; last_write_pc; last_write_addr } ->
+      [
+        ("reason", J.String reason);
+        ("window_seen", J.Bool window_seen);
+        ("last_write_pc", J.Int last_write_pc);
+        ("last_write_addr", J.Int last_write_addr);
+      ]
   | E.Syscall_enter { index; nr } -> [ ("index", J.Int index); ("nr", J.Int nr) ]
   | E.Syscall_exit { index; ret } -> [ ("index", J.Int index); ("ret", J.Int ret) ]
   | E.Access { pc; addr; size; write; value; ctx } ->
@@ -162,7 +168,15 @@ let full_line ev =
   | E.Trial_end { verdict } -> Some (Printf.sprintf "trial ends: %s" verdict)
   | E.Switch { from_; to_; reason } ->
       Some (Printf.sprintf "~~ switch vCPU %d -> vCPU %d (%s) ~~" from_ to_ reason)
-  | E.Hint_miss -> Some "hinted PMC channel not exercised (miss)"
+  | E.Hint_miss { reason; window_seen; last_write_pc; last_write_addr } ->
+      Some
+        (Printf.sprintf
+           "hinted PMC channel not exercised (miss: %s; window %s%s)" reason
+           (if window_seen then "seen" else "not reached")
+           (if last_write_pc < 0 then "; no shared write"
+            else
+              Printf.sprintf "; last write pc=%d addr=0x%x" last_write_pc
+                last_write_addr))
   | E.Verdict { kind; issue; detail } ->
       Some
         (Printf.sprintf "VERDICT %s%s: %s" kind

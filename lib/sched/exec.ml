@@ -75,21 +75,36 @@ let helper_functions =
     "ext4_compute_csum"; "syscall_entry";
   ]
 
-(* Cached access attribution: one name and one is-helper bit per pc,
-   computed once per image, so attributing a shared access is two array
-   reads instead of an [Asm.func_name] lookup plus an O(|helpers|)
-   [List.mem] over strings. *)
-type attr = { a_names : string array; a_helper : bool array }
+(* Cached access attribution: one name, one is-helper bit and one interned
+   profiler function id per pc, computed once per image, so attributing a
+   shared access is two array reads instead of an [Asm.func_name] lookup
+   plus an O(|helpers|) [List.mem] over strings. *)
+type attr = { a_names : string array; a_helper : bool array; a_fid : int array }
 
 let attr_of_image (image : Asm.image) =
-  let names = image.Asm.func_of_pc in
-  { a_names = names; a_helper = Array.map (fun n -> List.mem n helper_functions) names }
+  let names =
+    Array.init
+      (Array.length image.Asm.func_of_pc)
+      (fun pc -> Asm.func_name image pc)
+  in
+  {
+    a_names = names;
+    a_helper = Array.map (fun n -> List.mem n helper_functions) names;
+    a_fid = Array.map Obs.Profguest.intern names;
+  }
 
 let attr_name a pc =
-  if pc >= 0 && pc < Array.length a.a_names then a.a_names.(pc) else "<invalid>"
+  if pc >= 0 && pc < Array.length a.a_names then a.a_names.(pc)
+  else Asm.unknown_name pc
 
 let attr_is_helper a pc =
   pc >= 0 && pc < Array.length a.a_helper && a.a_helper.(pc)
+
+(* Profiler fid of the pc a vCPU is about to execute; out-of-image pcs
+   intern their stable unknown name (slow path, never hit in practice). *)
+let attr_fid a pc =
+  if pc >= 0 && pc < Array.length a.a_fid then a.a_fid.(pc)
+  else Obs.Profguest.intern (Asm.unknown_name pc)
 
 type env = { kern : Kernel.t; vm : Vm.t; snap : Vm.snap; attr : attr }
 
@@ -273,6 +288,11 @@ let run_seq_shared env ~tid (prog : Fuzzer.Prog.t) =
   let steps = ref 0 in
   let blocks = ref 0 in
   let sink = Vm.make_sink () in
+  (* Guest profiler: a block never crosses a Call/Ret ([Vm.run_block]
+     stops at every singleton event), so attributing all of a block's
+     retired instructions to the function at its starting pc is exact. *)
+  let prof = Obs.Profguest.collector () in
+  let prof_on = Obs.Profguest.active prof in
   (try
      List.iteri
        (fun i c ->
@@ -282,16 +302,24 @@ let run_seq_shared env ~tid (prog : Fuzzer.Prog.t) =
          let finished = ref false in
          while not !finished do
            if !budget <= 0 then raise Exit;
+           let bfid = if prof_on then attr_fid env.attr (Vm.cpu_pc env.vm tid) else -1 in
            let reason = Vm.run_block env.vm ~tid ~quantum:!budget sink in
            budget := !budget - sink.Vm.sk_steps;
            steps := !steps + sink.Vm.sk_steps;
            incr blocks;
+           let nsh = ref 0 in
            for k = 0 to sink.Vm.sk_n_acc - 1 do
              if
                Trace.is_shared_at ~addr:sink.Vm.sk_acc_addr.(k)
                  ~sp:sink.Vm.sk_acc_sp.(k)
-             then accesses := Vm.sink_access sink ~thread:tid k :: !accesses
+             then begin
+               incr nsh;
+               accesses := Vm.sink_access sink ~thread:tid k :: !accesses
+             end
            done;
+           if prof_on then
+             Obs.Profguest.collect prof ~fid:bfid ~steps:sink.Vm.sk_steps
+               ~shared:!nsh;
            match reason with
            | Vm.Rret_to_user ->
                retvals.(i) <- Vm.reg env.vm tid Isa.r0;
@@ -301,6 +329,7 @@ let run_seq_shared env ~tid (prog : Fuzzer.Prog.t) =
          done)
        prog
    with Exit -> ());
+  if prof_on then Obs.Profguest.flush prof Obs.Profguest.Profile;
   if !blocks > 0 then Obs.Metrics.observe h_block_len (!steps / !blocks);
   Obs.Metrics.incr m_seq_runs;
   Obs.Metrics.observe h_seq_steps !steps;
@@ -428,8 +457,10 @@ let injected_timeout_horizon = 192
    Trace.access record is materialised only for *shared* accesses (the
    ones result lists and observers actually consume). *)
 let run_multi env ~(progs : Fuzzer.Prog.t array) ~(policy : policy)
-    ?(observer = default_observer) ?watchdog ?(fault = Fault.No_fault) () =
+    ?(observer = default_observer) ?watchdog ?(fault = Fault.No_fault)
+    ?(prof = Obs.Profguest.null_collector) () =
   let n = Array.length progs in
+  let prof_on = Obs.Profguest.active prof in
   (* an injected timeout becomes an (aggressively clamped) watchdog, so
      the supervision path is exercised exactly as a runaway trial would *)
   let watchdog =
@@ -566,6 +597,10 @@ let run_multi env ~(progs : Fuzzer.Prog.t array) ~(policy : policy)
            th.frames.stack <- []
        | Vm.Kernel | Vm.Dead -> ());
        if Vm.cpu_mode env.vm tid = Vm.Kernel then begin
+         let pfid =
+           if prof_on then attr_fid env.attr (Vm.cpu_pc env.vm tid) else -1
+         in
+         let psh = ref 0 in
          incr steps;
          ignore (Vm.step_sink env.vm ~tid sink);
          (* accesses first: a Call's stack write is attributed with the
@@ -575,6 +610,7 @@ let run_multi env ~(progs : Fuzzer.Prog.t array) ~(policy : policy)
            let addr = sink.Vm.sk_acc_addr.(k) in
            if Trace.is_shared_at ~addr ~sp:sink.Vm.sk_acc_sp.(k) then begin
              let a = Vm.sink_access sink ~thread:tid k in
+             incr psh;
              accesses.(tid) := a :: !(accesses.(tid));
              let ctx = attribute env.attr th.frames a.Trace.pc in
              observer.on_access a ~ctx;
@@ -591,6 +627,8 @@ let run_multi env ~(progs : Fuzzer.Prog.t array) ~(policy : policy)
                     })
            end
          done;
+         if prof_on then
+           Obs.Profguest.collect prof ~fid:pfid ~steps:1 ~shared:!psh;
          if sink.Vm.sk_call >= 0 then
            th.frames.stack <- sink.Vm.sk_call :: th.frames.stack;
          if sink.Vm.sk_return then begin
@@ -675,5 +713,6 @@ let run_multi env ~(progs : Fuzzer.Prog.t array) ~(policy : policy)
 
 let run_conc env ~(writer : Fuzzer.Prog.t) ~(reader : Fuzzer.Prog.t)
     ~(policy : policy) ?(observer = default_observer) ?watchdog
-    ?(fault = Fault.No_fault) () =
-  run_multi env ~progs:[| writer; reader |] ~policy ~observer ?watchdog ~fault ()
+    ?(fault = Fault.No_fault) ?prof () =
+  run_multi env ~progs:[| writer; reader |] ~policy ~observer ?watchdog ~fault
+    ?prof ()

@@ -21,17 +21,23 @@ val helper_functions : string list
     access attribution. *)
 
 type attr
-(** Cached access attribution for one kernel image: per-pc function name
-    and is-helper bit, precomputed so attributing an access is two array
-    reads instead of a name lookup plus a list scan. *)
+(** Cached access attribution for one kernel image: per-pc function name,
+    is-helper bit and interned {!Obs.Profguest} function id, precomputed
+    so attributing an access is two array reads instead of a name lookup
+    plus a list scan. *)
 
 val attr_of_image : Vmm.Asm.image -> attr
 
 val attr_name : attr -> int -> string
-(** Function containing [pc]; ["<invalid>"] out of range. *)
+(** Function containing [pc]; total like {!Vmm.Asm.func_name} — an
+    out-of-range or padding pc yields [Vmm.Asm.unknown_name pc]. *)
 
 val attr_is_helper : attr -> int -> bool
 (** Is [pc] inside one of {!helper_functions}?  [false] out of range. *)
+
+val attr_fid : attr -> int -> int
+(** Profiler fid of the function containing [pc]; out-of-image pcs intern
+    their unknown name on the fly (slow path). *)
 
 type env = {
   kern : Kernel.t;
@@ -93,7 +99,10 @@ val run_seq_shared : env -> tid:int -> Fuzzer.Prog.t -> seq_result
     {!run_seq_step} with its [sq_accesses] filtered through
     {!Vmm.Trace.is_shared} and its [sq_edges] dropped; every other field
     is identical.  The profiling pipeline's fast path — feed the result
-    to {!Core.Profile.of_shared}. *)
+    to {!Core.Profile.of_shared}.  When {!Obs.Profguest} is enabled, the
+    run's per-function instruction/shared counts are flushed into the
+    profiler's [Profile] phase (exact: a block never crosses a function
+    boundary). *)
 
 val run_seq_sink : env -> tid:int -> Fuzzer.Prog.t -> seq_result
 (** [run_seq] stepping one instruction per {!Vmm.Vm.step_sink} call: no
@@ -144,6 +153,7 @@ val run_multi :
   ?observer:observer ->
   ?watchdog:int ->
   ?fault:Fault.verdict ->
+  ?prof:Obs.Profguest.collector ->
   unit ->
   conc_result
 (** Restore the snapshot and interleave one program per vCPU (up to
@@ -163,7 +173,11 @@ val run_multi :
     one drawn fault verdict: [Crash]/[Truncate] raise the matching
     exception at the drawn step, [Timeout] clamps the watchdog to
     {!injected_timeout_horizon}.  These exceptions escape to the caller;
-    {!Snowboard_harness.Supervise} is the intended handler. *)
+    {!Snowboard_harness.Supervise} is the intended handler.
+
+    [prof] (default inactive) is a guest-profiler collector; when active,
+    every retired instruction and shared access is attributed to its
+    enclosing function (one fid-array read and two int adds per step). *)
 
 val run_conc :
   env ->
@@ -173,6 +187,7 @@ val run_conc :
   ?observer:observer ->
   ?watchdog:int ->
   ?fault:Fault.verdict ->
+  ?prof:Obs.Profguest.collector ->
   unit ->
   conc_result
 (** [run_multi] specialised to the paper's two-thread setting: the

@@ -46,6 +46,13 @@ type result = {
          in opposite threads during some trial *)
   total_steps : int;
   total_switches : int;
+  hint_hits : int;  (* trials whose hinted channel was exercised *)
+  miss_no_write : int;  (* misses: the hinted write never executed *)
+  miss_no_read : int;  (* misses: write landed, reader never reached it *)
+  miss_value : int;  (* misses: both sides ran, value was the profiled one *)
+  prof : (string * int * int) list;
+      (* guest-profiler rows (function, instr, shared) accumulated over
+         all trials; [] when the profiler is disabled *)
 }
 
 (* Did the hinted communication happen?  The write side must occur in the
@@ -70,6 +77,37 @@ let channel_exercised hint (res : Exec.conc_result) =
       in
       wrote && read_changed
 
+(* Why did a hinted trial miss?  Classified from the same per-thread
+   access lists [channel_exercised] consults, so no ring replay is
+   needed: either the write side never executed, or it did and the
+   reader was preempted before (or re-ordered past) the hinted access,
+   or both sides ran but the read still observed its profiled value. *)
+let miss_reason_no_write = "write-never-executed"
+let miss_reason_no_read = "reader-preempted"
+let miss_reason_value = "value-mismatch"
+
+let classify_miss pmc (res : Exec.conc_result) =
+  let wrote =
+    List.exists
+      (fun a -> Core.Pmc.matches_write pmc a)
+      res.Exec.cc_accesses.(0)
+  in
+  let read_reached =
+    List.exists (fun a -> Core.Pmc.matches_read pmc a) res.Exec.cc_accesses.(1)
+  in
+  if not wrote then miss_reason_no_write
+  else if not read_reached then miss_reason_no_read
+  else miss_reason_value
+
+(* The writer thread's last shared write, as (pc, addr); (-1, -1) if it
+   never wrote shared memory. *)
+let last_write (res : Exec.conc_result) =
+  List.fold_left
+    (fun acc (a : Trace.access) ->
+      if a.Trace.kind = Trace.Write then (a.Trace.pc, a.Trace.addr) else acc)
+    (-1, -1)
+    res.Exec.cc_accesses.(0)
+
 let default_trials = 64
 
 (* Explore one concurrent test for up to [trials] interleavings. *)
@@ -85,6 +123,14 @@ let run (env : Exec.env) ~(ident : Core.Identify.t option)
   let any_pmc_observed = ref false in
   let total_steps = ref 0 in
   let total_switches = ref 0 in
+  let hint_hits = ref 0 in
+  let miss_no_write = ref 0 in
+  let miss_no_read = ref 0 in
+  let miss_value = ref 0 in
+  (* one profiler collector across the whole exploration; drained into
+     [result.prof] so the caller flushes the counts exactly once (the
+     rows ride in test results and the checkpoint journal) *)
+  let prof = Obs.Profguest.collector () in
   (try
      for trial = 0 to trials - 1 do
        let rng = Random.State.make [| seed + trial |] in
@@ -114,9 +160,10 @@ let run (env : Exec.env) ~(ident : Core.Identify.t option)
          | None -> Fault.No_fault
          | Some (plan, test) -> Fault.draw plan ~test ~trial ~attempt
        in
+       let windows_before = st.Policies.windows_seen in
        let res =
          Exec.run_conc env ~writer ~reader ~policy:recorder.Replay.policy
-           ~observer ?watchdog ~fault:verdict ()
+           ~observer ?watchdog ~fault:verdict ~prof ()
        in
        let findings =
          Detectors.Oracle.analyze ~console:res.Exec.cc_console
@@ -126,13 +173,32 @@ let run (env : Exec.env) ~(ident : Core.Identify.t option)
        let issues = Detectors.Oracle.issues findings in
        let exercised = channel_exercised hint res in
        Obs.Metrics.incr m_trials;
-       if hint <> None then
-         if exercised then Obs.Metrics.incr m_hint_hits
-         else begin
-           Obs.Metrics.incr m_hint_misses;
-           if Obs.Event.enabled () then
-             Obs.Event.emit ~tid:Obs.Event.sched_tid Obs.Event.Hint_miss
-         end;
+       (match hint with
+       | None -> ()
+       | Some pmc ->
+           if exercised then begin
+             incr hint_hits;
+             Obs.Metrics.incr m_hint_hits
+           end
+           else begin
+             Obs.Metrics.incr m_hint_misses;
+             let reason = classify_miss pmc res in
+             if reason == miss_reason_no_write then incr miss_no_write
+             else if reason == miss_reason_no_read then incr miss_no_read
+             else incr miss_value;
+             if Obs.Event.enabled () then begin
+               let last_write_pc, last_write_addr = last_write res in
+               Obs.Event.emit ~tid:Obs.Event.sched_tid
+                 (Obs.Event.Hint_miss
+                    {
+                      reason;
+                      window_seen =
+                        st.Policies.windows_seen > windows_before;
+                      last_write_pc;
+                      last_write_addr;
+                    })
+             end
+           end);
        if exercised then any_exercised := true;
        total_steps := !total_steps + res.Exec.cc_steps;
        total_switches := !total_switches + res.Exec.cc_switches;
@@ -218,6 +284,11 @@ let run (env : Exec.env) ~(ident : Core.Identify.t option)
     any_pmc_observed = !any_pmc_observed || !any_exercised;
     total_steps = !total_steps;
     total_switches = !total_switches;
+    hint_hits = !hint_hits;
+    miss_no_write = !miss_no_write;
+    miss_no_read = !miss_no_read;
+    miss_value = !miss_value;
+    prof = Obs.Profguest.drain prof;
   }
 
 (* All distinct issues seen across the trials of a result. *)

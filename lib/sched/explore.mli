@@ -31,7 +31,34 @@ type result = {
           occur in opposite threads during some trial *)
   total_steps : int;
   total_switches : int;
+  hint_hits : int;  (** trials whose hinted channel was exercised *)
+  miss_no_write : int;
+      (** hinted misses where the write side never executed *)
+  miss_no_read : int;
+      (** hinted misses where the write landed but the reader never
+          reached the hinted access *)
+  miss_value : int;
+      (** hinted misses where both sides ran but the value read was the
+          profiled (sequential) one *)
+  prof : (string * int * int) list;
+      (** guest-profiler rows [(function, instr, shared)] over all
+          trials, sorted by name; [[]] while {!Obs.Profguest} is
+          disabled.  The caller flushes these exactly once (they ride in
+          test results and the checkpoint journal for resume). *)
 }
+
+val miss_reason_no_write : string
+(** ["write-never-executed"]. *)
+
+val miss_reason_no_read : string
+(** ["reader-preempted"]. *)
+
+val miss_reason_value : string
+(** ["value-mismatch"]. *)
+
+val classify_miss : Core.Pmc.t -> Exec.conc_result -> string
+(** Why a hinted trial missed, as one of the three reasons above;
+    carried on {!Obs.Event.kind.Hint_miss}. *)
 
 val channel_exercised : Core.Pmc.t option -> Exec.conc_result -> bool
 (** Section 5.3.2's accuracy proxy: the hinted write occurred in the

@@ -32,6 +32,9 @@ type snowboard_state = {
   mutable current_pmcs : Core.Pmc.t list;
   flags : (int * Trace.kind * int, unit) Hashtbl.t;
   last_access : (int * Trace.kind * int) option array;
+  mutable windows_seen : int;
+      (* pmc_access_coming windows entered; miss diagnostics read the
+         per-trial delta *)
 }
 
 let snowboard_state ?(nthreads = 2) hint =
@@ -39,6 +42,7 @@ let snowboard_state ?(nthreads = 2) hint =
     current_pmcs = (match hint with Some p -> [ p ] | None -> []);
     flags = Hashtbl.create 64;
     last_access = Array.make nthreads None;
+    windows_seen = 0;
   }
 
 let add_pmc st pmc =
@@ -74,6 +78,7 @@ let snowboard rng (st : snowboard_state) : Exec.policy =
         end
         else if Hashtbl.mem st.flags siga then begin
           (* pmc_access_coming: the PMC access is imminent *)
+          st.windows_seen <- st.windows_seen + 1;
           if Obs.Event.enabled () then
             Obs.Event.emit ~tid (Obs.Event.Hint_window { pc; addr });
           if Random.State.bool rng then switch := true

@@ -7,6 +7,9 @@ type snowboard_state = {
   flags : (int * Vmm.Trace.kind * int, unit) Hashtbl.t;
       (** signatures of accesses observed right before a PMC access *)
   last_access : (int * Vmm.Trace.kind * int) option array;
+  mutable windows_seen : int;
+      (** running count of pmc_access_coming windows entered; miss
+          diagnostics read the per-trial delta *)
 }
 (** State Algorithm 2 persists across the trials of one concurrent test. *)
 

@@ -104,6 +104,11 @@ let func t name body =
   emit t Isa.Halt;
   t.cur_func <- saved
 
+(* Shared sentinel for code outside any [func] extent; compared by physical
+   equality in [func_name] so user functions literally named "<none>" are
+   unaffected. *)
+let none_name = "<none>"
+
 let link t =
   let code_src = Array.of_list (List.rev t.instrs) in
   let resolve l =
@@ -112,7 +117,7 @@ let link t =
     | None -> invalid_arg (Printf.sprintf "asm: undefined label %s" l)
   in
   let code = Array.map (Isa.map_label resolve) code_src in
-  let func_of_pc = Array.make (Array.length code) "<none>" in
+  let func_of_pc = Array.make (Array.length code) none_name in
   let funcs = List.rev t.funcs in
   let rec fill idx = function
     | [] -> ()
@@ -148,9 +153,16 @@ let entry image name =
   | Some pc -> pc
   | None -> invalid_arg (Printf.sprintf "asm: unknown entry point %s" name)
 
+(* Total attribution: a pc outside the image, or inside a padding gap
+   before the first function, still gets a stable printable name so
+   downstream consumers (provenance, profiler) never special-case. *)
+let unknown_name pc = Printf.sprintf "<unknown:0x%x>" pc
+
 let func_name image pc =
-  if pc >= 0 && pc < Array.length image.func_of_pc then image.func_of_pc.(pc)
-  else "<invalid>"
+  if pc >= 0 && pc < Array.length image.func_of_pc then
+    let name = image.func_of_pc.(pc) in
+    if name == none_name then unknown_name pc else name
+  else unknown_name pc
 
 let region_of_addr (image : image) addr =
   List.find_opt (fun r -> addr >= r.addr && addr < r.addr + r.size) image.regions

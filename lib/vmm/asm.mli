@@ -59,8 +59,13 @@ val link : t -> image
 val entry : image -> string -> int
 (** Program address of a named function. *)
 
+val unknown_name : int -> string
+(** The stable ["<unknown:0xPC>"] form used for unattributable pcs. *)
+
 val func_name : image -> int -> string
-(** Enclosing function of a program address. *)
+(** Enclosing function of a program address.  Total: a pc outside the
+    image, or inside padding before the first function, yields
+    [unknown_name pc], never an exception. *)
 
 val region_of_addr : image -> int -> region option
 (** The kernel global containing [addr], if any. *)

@@ -267,6 +267,11 @@ let sample_result ~index ~outcome ~bug =
     tr_unknown = 1;
     tr_trials = 4;
     tr_steps = 5000 + index;
+    tr_hint_hits = index mod 4;
+    tr_miss_no_write = 1;
+    tr_miss_no_read = index mod 2;
+    tr_miss_value = 0;
+    tr_prof = [ ("poll_wait", 120 + index, 7); ("tty_write", 64, 3) ];
     tr_bug = bug;
   }
 

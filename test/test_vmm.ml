@@ -286,7 +286,22 @@ let test_func_name_map () =
   check Alcotest.string "pc 0" "first" (Asm.func_name image 0);
   check Alcotest.string "second start" "second"
     (Asm.func_name image (Asm.entry image "second"));
-  check Alcotest.string "out of range" "<invalid>" (Asm.func_name image 99999)
+  check Alcotest.string "out of range" "<unknown:0x1869f>"
+    (Asm.func_name image 99999);
+  check Alcotest.string "negative pc" (Asm.unknown_name (-1))
+    (Asm.func_name image (-1))
+
+(* Attribution is total: code emitted outside any [func] extent (padding
+   before the first function) still gets a stable printable name. *)
+let test_func_name_padding () =
+  let a = Asm.create () in
+  Asm.label a "pad";
+  Asm.emit a Halt;
+  Asm.func a "real" (fun () -> Asm.emit a Ret);
+  let image = Asm.link a in
+  check Alcotest.string "padding pc" "<unknown:0x0>" (Asm.func_name image 0);
+  check Alcotest.string "function pc" "real"
+    (Asm.func_name image (Asm.entry image "real"))
 
 let test_console_format () =
   let a = Asm.create () in
@@ -362,6 +377,8 @@ let tests =
     Alcotest.test_case "undefined label" `Quick test_undefined_label;
     Alcotest.test_case "duplicate label" `Quick test_duplicate_label;
     Alcotest.test_case "pc to function map" `Quick test_func_name_map;
+    Alcotest.test_case "pc map is total over padding" `Quick
+      test_func_name_padding;
     Alcotest.test_case "console formatting" `Quick test_console_format;
     Alcotest.test_case "coverage edges" `Quick test_coverage_edges;
     Alcotest.test_case "step counter" `Quick test_step_counts;
