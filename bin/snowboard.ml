@@ -41,7 +41,7 @@ let finish_obs obs =
   match obs.metrics_out with
   | Some path -> (
       try
-        Obs.Export.write_file path
+        Obs.Export.write_file ~site:"metrics" path
           (Obs.Export.registry_json ~extra:!obs_extra ());
         Format.eprintf "metrics written to %s@." path
       with Sys_error msg ->
@@ -154,15 +154,14 @@ let telemetry_term =
     (match om_out with
     | Some path ->
         at_exit (fun () ->
-            try
-              let oc = open_out path in
-              Fun.protect
-                ~finally:(fun () -> close_out oc)
-                (fun () ->
-                  output_string oc (Obs.Export.openmetrics ~deterministic ()));
-              Format.eprintf "openmetrics written to %s@." path
-            with Sys_error msg ->
-              Format.eprintf "snowboard: cannot write openmetrics: %s@." msg)
+            match
+              Obs.Storage.write_atomic ~site:"openmetrics" ~path
+                (Obs.Export.openmetrics ~deterministic ())
+            with
+            | Ok () -> Format.eprintf "openmetrics written to %s@." path
+            | Error e ->
+                Format.eprintf "snowboard: cannot write openmetrics: %s@."
+                  (Obs.Storage.err_to_string e))
     | None -> ());
     { telem_deterministic = deterministic }
   in
@@ -392,8 +391,9 @@ let checkpoint_arg =
     & opt (some string) None
     & info [ "checkpoint" ] ~docv:"FILE"
         ~doc:
-          "Journal every completed test to $(docv) (crash-safe \
-           write-and-rename), enabling --resume.")
+          "Journal every completed test to $(docv) as CRC-framed, fsynced \
+           records (a crash tears at most the final frame; 'snowboard fsck' \
+           inspects the file), enabling --resume.")
 
 let resume_arg =
   Arg.(
@@ -411,6 +411,21 @@ let stop_after_arg =
         ~doc:
           "Stop the campaign after $(docv) freshly executed tests (exit 10), \
            simulating an interruption; requires --domains 1.")
+
+let crash_at_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "crash-at" ] ~docv:"SITE:K"
+        ~doc:
+          "Simulate a power loss at a durable-write crashpoint: the $(i,K)-th \
+           write at $(i,SITE) (e.g. checkpoint.append:3, telemetry.line:2, \
+           summary:1, or any:7 for the K-th durable write overall) is torn \
+           mid-payload and the process dies with exit 42, skipping every \
+           at_exit hook — exactly what losing power there would leave on \
+           disk.  seed:N derives a deterministic any:K placement from N.  \
+           Pair with --checkpoint/--resume to prove crash recovery: the \
+           resumed summary is byte-identical to an uninterrupted run's.")
 
 let summary_out_arg =
   Arg.(
@@ -449,12 +464,20 @@ exception Interrupted
 
 let run_campaign kernel seed iters trials budget methods seeded domains jobs
     log verbose corpus_file fault_spec watchdog max_retries checkpoint resume
-    stop_after summary_out flame_out provenance_out (_ : telem) (_ : obs) =
+    stop_after crash_at summary_out flame_out provenance_out (_ : telem)
+    (_ : obs) =
   setup_logs ~debug:verbose ~info:log ();
   if resume && checkpoint = None then
     fail_cli "--resume requires --checkpoint FILE";
   if stop_after <> None && domains > 1 then
     fail_cli "--stop-after requires --domains 1 (deterministic interruption)";
+  (match crash_at with
+  | None -> ()
+  | Some spec -> (
+      match Obs.Storage.parse_crash_spec spec with
+      | Error msg -> fail_cli "%s" msg
+      | Ok ("seed", n) -> Obs.Storage.arm_crash_seeded ~seed:n ()
+      | Ok (site, k) -> Obs.Storage.arm_crash ~site ~k ()));
   (* either artifact flag turns the guest profiler on for the whole
      campaign; reset first so repeated in-process campaigns stay clean *)
   if flame_out <> None || provenance_out <> None then begin
@@ -520,15 +543,34 @@ let run_campaign kernel seed iters trials budget methods seeded domains jobs
   in
   let journaled =
     match (resume, checkpoint) with
+    | true, Some path when not (Sys.file_exists path) ->
+        (* a crash before the journal header was ever durable (e.g.
+           --crash-at checkpoint.header:1) leaves no file; resuming from
+           nothing is just a fresh start *)
+        Format.eprintf
+          "snowboard: no journal at %s; starting a fresh campaign@." path;
+        []
     | true, Some path -> (
-        match Harness.Checkpoint.load path with
+        match Harness.Checkpoint.load_ex path with
         | Error msg -> fail_cli "cannot resume: %s" msg
-        | Ok f ->
+        | Ok (f, recovery) ->
             if f.Harness.Checkpoint.ck_fingerprint <> fingerprint then
               fail_cli
                 "cannot resume: %s was journaled by a different campaign \
                  configuration"
                 path;
+            (match recovery with
+            | Some rc when not (Harness.Durable.clean rc) ->
+                Format.eprintf
+                  "snowboard: journal %s recovered %d record(s), dropped a \
+                   torn tail of %d record(s) / %d byte(s)%s@."
+                  path rc.Harness.Durable.rc_records
+                  rc.Harness.Durable.rc_dropped_records
+                  rc.Harness.Durable.rc_dropped_bytes
+                  (match rc.Harness.Durable.rc_reason with
+                  | Some why -> " (" ^ why ^ ")"
+                  | None -> "")
+            | _ -> ());
             f.Harness.Checkpoint.ck_entries)
     | _ -> []
   in
@@ -572,30 +614,47 @@ let run_campaign kernel seed iters trials budget methods seeded domains jobs
       let union = Harness.Pipeline.issues_union stats in
       let found = [ ("campaign", union) ] in
       Harness.Report.table2 ~found;
-      let summary = Harness.Report.json_summary ~pipeline:t ~stats ~found () in
+      let summary =
+        Harness.Report.json_summary ~pipeline:t
+          ~storage_degraded:(Obs.Storage.degraded () <> [])
+          ~stats ~found ()
+      in
       obs_extra := [ ("summary", summary) ];
+      (* artifact writes degrade gracefully: a full disk must not cost
+         the campaign its console report or its exit verdict *)
+      let try_write what f =
+        try f ()
+        with Sys_error msg ->
+          Format.eprintf "snowboard: cannot write %s: %s@." what msg
+      in
       (match summary_out with
       | Some path ->
-          Obs.Export.write_file path summary;
-          pf "summary written to %s@." path
+          try_write "summary" (fun () ->
+              Obs.Export.write_file ~site:"summary" path summary;
+              pf "summary written to %s@." path)
       | None -> ());
       (* observability artifacts describe completed campaigns only — an
          interrupted run (exit 10) resumes and writes them then *)
       (match flame_out with
       | Some path ->
-          Obs.Profguest.write_flame path;
-          pf "flamegraph written to %s@." path
+          try_write "flamegraph" (fun () ->
+              Obs.Profguest.write_flame path;
+              pf "flamegraph written to %s@." path)
       | None -> ());
       (match provenance_out with
       | Some path ->
-          Harness.Provenance.write t.Harness.Pipeline.prov
-            ~frontier:t.Harness.Pipeline.frontier path;
-          pf "provenance written to %s@." path
+          try_write "provenance" (fun () ->
+              Harness.Provenance.write t.Harness.Pipeline.prov
+                ~frontier:t.Harness.Pipeline.frontier path;
+              pf "provenance written to %s@." path)
       | None -> ());
-      (* exit-code taxonomy: 3 = the harness degraded (lost work), 2 =
-         clean run that found bugs, 0 = clean and silent.  Degradation
-         dominates: a degraded campaign's findings are a lower bound. *)
-      if Harness.Pipeline.degraded stats then exit 3
+      Harness.Report.storage ();
+      (* exit-code taxonomy: 3 = the harness degraded (lost work or lost
+         storage), 2 = clean run that found bugs, 0 = clean and silent.
+         Degradation dominates: a degraded campaign's findings are a
+         lower bound. *)
+      if Harness.Pipeline.degraded stats || Obs.Storage.degraded () <> [] then
+        exit 3
       else if union <> [] || List.exists (fun s -> s.Harness.Pipeline.bugs <> []) stats
       then exit 2
 
@@ -610,16 +669,20 @@ let campaign_cmd =
            `P "2: completed cleanly and found concurrency issues.";
            `P
              "3: completed but degraded — some tests timed out, crashed or \
-              were quarantined (see the supervision outcome table).";
+              were quarantined (see the supervision outcome table), or a \
+              storage write exhausted its retries (ENOSPC/EIO; see the \
+              storage table).";
            `P "10: interrupted by --stop-after; the checkpoint journal holds \
                the completed prefix.";
+           `P "42: simulated power loss fired at the --crash-at crashpoint.";
          ])
     Term.(
       const run_campaign $ version $ seed $ fuzz_iters $ trials $ budget
       $ methods $ seed_corpus_flag $ domains_arg $ jobs_arg $ log_verbose
       $ verbose_log
       $ corpus_in $ inject_faults_arg $ watchdog_arg $ max_retries_arg
-      $ checkpoint_arg $ resume_arg $ stop_after_arg $ summary_out_arg
+      $ checkpoint_arg $ resume_arg $ stop_after_arg $ crash_at_arg
+      $ summary_out_arg
       $ flame_out_arg $ provenance_out_arg $ telemetry_term $ obs_term)
 
 (* ---------------- repro ---------------- *)
@@ -1002,16 +1065,19 @@ let run_explain kernel replay_arg issue trace_out text_out () (_ : obs) =
             ]
           events
       in
-      J.write_file path doc;
+      J.write_file ~site:"trace" path doc;
       pf "Chrome trace written to %s (%d events)@." path (List.length events)
   | None -> ());
   (match text_out with
-  | Some path ->
-      let oc = open_out path in
-      Fun.protect
-        ~finally:(fun () -> close_out oc)
-        (fun () -> output_string oc (Obs.Timeline.interleaving events));
-      pf "interleaving report written to %s@." path
+  | Some path -> (
+      match
+        Obs.Storage.write_atomic ~site:"trace.text" ~path
+          (Obs.Timeline.interleaving events)
+      with
+      | Ok () -> pf "interleaving report written to %s@." path
+      | Error e ->
+          Format.eprintf "snowboard: cannot write interleaving report: %s@."
+            (Obs.Storage.err_to_string e))
   | None -> pf "@.%s@." (Obs.Timeline.interleaving events));
   Obs.Event.configure ~enabled:false ();
   (* the acceptance check: the stored verdict must reproduce *)
@@ -1449,6 +1515,60 @@ let three_cmd =
           PMC chain (the relay order violation).")
     Term.(const run_three $ version $ seed $ logging_term $ obs_term)
 
+(* ---------------- fsck ---------------- *)
+
+(* Validate (and optionally repair) a checkpoint journal without running
+   anything: prints a recovery dossier describing the recoverable
+   prefix and what a crash or corruption tore off the tail. *)
+
+let run_fsck path repair json () (_ : obs) =
+  match Harness.Durable.fsck ~repair path with
+  | Error msg ->
+      Format.eprintf "snowboard: fsck: %s@." msg;
+      exit 1
+  | Ok r ->
+      if json then pf "%s@." (J.to_string (Harness.Durable.fsck_json r))
+      else pf "@[<v>%a@]@." Harness.Durable.pp_fsck r;
+      if not r.Harness.Durable.fk_clean && not r.Harness.Durable.fk_repaired
+      then exit 4
+
+let fsck_path_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"JOURNAL"
+        ~doc:"The checkpoint journal to validate (--checkpoint FILE).")
+
+let fsck_repair_arg =
+  Arg.(
+    value & flag
+    & info [ "repair" ]
+        ~doc:
+          "Atomically truncate a corrupt framed journal to its longest valid \
+           record prefix, exactly what --resume would recover.")
+
+let fsck_json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"Print the recovery dossier as JSON.")
+
+let fsck_cmd =
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:
+         "Validate or repair a checkpoint journal: scan the CRC-framed \
+          records, report the recoverable prefix and the dropped tail."
+       ~man:
+         [
+           `S Manpage.s_exit_status;
+           `P "0: journal is clean (or was just repaired).";
+           `P "1: the file cannot be read at all.";
+           `P "4: journal is corrupt and was not repaired (no --repair).";
+         ])
+    Term.(
+      const run_fsck $ fsck_path_arg $ fsck_repair_arg $ fsck_json_arg
+      $ logging_term $ obs_term)
+
 (* ---------------- issues ---------------- *)
 
 let run_issues () (_ : obs) =
@@ -1479,5 +1599,5 @@ let () =
        (Cmd.group info
           [
             fuzz_cmd; identify_cmd; campaign_cmd; repro_cmd; diagnose_cmd;
-            explain_cmd; why_cmd; verify_cmd; three_cmd; issues_cmd;
+            explain_cmd; why_cmd; verify_cmd; three_cmd; issues_cmd; fsck_cmd;
           ]))

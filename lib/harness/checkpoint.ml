@@ -1,19 +1,29 @@
 (* Campaign checkpoint/resume (see checkpoint.mli).
 
-   The journal is deliberately a rewrite-the-world file rather than an
-   append-only log: campaigns journal at most a few hundred entries, the
-   write-temp-then-rename makes every version crash-safe, and a single
-   self-contained JSON document is trivially inspectable next to the
-   other run artifacts. *)
+   Since v3 the journal is a CRC-framed record log (Durable.frame): one
+   header record naming the schema and fingerprint, then one record per
+   completed test, each appended with an fsync.  A crash tears at most
+   the final frame, and the Durable reader recovers the longest valid
+   prefix from arbitrary truncation or bit corruption without ever
+   raising — resuming from the recovered prefix reproduces the
+   uninterrupted campaign byte-for-byte.  v2's rewrite-the-world JSON
+   document is still readable for journals written before the format
+   change. *)
 
 module J = Obs.Export
 module Prog = Fuzzer.Prog
 
+let schema = "snowboard/checkpoint/v3"
+
 (* v2 added the Algorithm 2 hint-outcome tallies and the guest-profiler
-   rows to every entry; older journals are rejected (the fingerprint
+   rows to every entry; v1 journals are rejected (the fingerprint
    discipline already forces a fresh campaign on any config drift, and a
    v1 journal cannot reconstruct provenance or flamegraph artifacts). *)
-let schema = "snowboard/checkpoint/v2"
+let schema_v2 = "snowboard/checkpoint/v2"
+
+(* crashpoint names of the journal's two durable write sites *)
+let site_header = "checkpoint.header"
+let site_append = "checkpoint.append"
 
 type entry = { ck_method : string; ck_result : Pipeline.test_result }
 
@@ -87,13 +97,13 @@ let json_of_entry e =
           | Some b -> json_of_bug b );
       ])
 
-let json_of_file f =
-  J.Obj
-    [
-      ("schema", J.String schema);
-      ("fingerprint", J.String f.ck_fingerprint);
-      ("entries", J.List (List.map json_of_entry f.ck_entries));
-    ]
+(* v3 record payloads: the header line, then one compact line per entry *)
+let header_payload fingerprint =
+  J.to_line
+    (J.Obj
+       [ ("schema", J.String schema); ("fingerprint", J.String fingerprint) ])
+
+let entry_payload e = J.to_line (json_of_entry e)
 
 (* ------------------------------------------------------------------ *)
 (* Parsing.  Small total accessors over the Export JSON type; any shape
@@ -185,9 +195,10 @@ let entry_of_json o =
   in
   { ck_method = string_field o "method"; ck_result = result }
 
+(* the legacy v2 whole-document shape *)
 let file_of_json j =
   let s = string_field j "schema" in
-  if s <> schema then bad "unsupported checkpoint schema %S" s;
+  if s <> schema_v2 then bad "unsupported checkpoint schema %S" s;
   {
     ck_fingerprint = string_field j "fingerprint";
     ck_entries =
@@ -195,28 +206,99 @@ let file_of_json j =
   }
 
 (* ------------------------------------------------------------------ *)
-(* File I/O: write-to-temp-then-rename, so the journal on disk is
-   always a complete document even if the campaign dies mid-write. *)
+(* File I/O.  [save] atomically replaces the whole journal with framed
+   v3 records; [load] recovers the longest valid prefix of a v3
+   journal (total over corruption) and still reads v2 documents. *)
+
+let records_of_file f =
+  header_payload f.ck_fingerprint :: List.map entry_payload f.ck_entries
 
 let save path f =
-  let tmp = path ^ ".tmp" in
-  J.write_file tmp (json_of_file f);
-  Sys.rename tmp path
+  match Durable.write_journal ~site:site_header ~path (records_of_file f) with
+  | Ok () -> ()
+  | Error e -> raise (Sys_error (Obs.Storage.err_to_string e))
 
-let load path =
-  match
-    let ic = open_in_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  with
-  | exception Sys_error msg -> Error msg
-  | text -> (
-      match J.of_string_opt text with
-      | None -> Error (Printf.sprintf "%s: not valid JSON" path)
+(* Decode the recovered v3 record payloads.  The header must be intact
+   (a journal whose first record is torn identifies nothing and is
+   treated as empty-with-everything-dropped rather than an error);
+   entry records that fail shape-parsing end the valid prefix there, in
+   the same never-raise spirit as the frame scanner. *)
+let file_of_records records recovery =
+  match records with
+  | [] ->
+      Error
+        (match recovery.Durable.rc_reason with
+        | Some why -> Printf.sprintf "no recoverable journal header (%s)" why
+        | None -> "empty journal")
+  | hdr :: rest -> (
+      match J.of_string_opt hdr with
+      | None -> Error "journal header is not JSON"
       | Some j -> (
-          try Ok (file_of_json j)
-          with Bad msg -> Error (Printf.sprintf "%s: %s" path msg)))
+          match
+            let s = string_field j "schema" in
+            if s <> schema then bad "unsupported checkpoint schema %S" s;
+            string_field j "fingerprint"
+          with
+          | exception Bad msg -> Error msg
+          | fingerprint ->
+              let rec take acc dropped = function
+                | [] -> (List.rev acc, dropped)
+                | payload :: tl -> (
+                    match
+                      Option.map entry_of_json (J.of_string_opt payload)
+                    with
+                    | Some e -> take (e :: acc) dropped tl
+                    | None | (exception Bad _) ->
+                        (* stop at the first undecodable entry; it and
+                           everything after it count as dropped *)
+                        (List.rev acc, dropped + 1 + List.length tl))
+              in
+              let entries, extra_dropped = take [] 0 rest in
+              Ok
+                ( { ck_fingerprint = fingerprint; ck_entries = entries },
+                  {
+                    recovery with
+                    Durable.rc_records = 1 + List.length entries;
+                    rc_dropped_records =
+                      recovery.Durable.rc_dropped_records + extra_dropped;
+                  } )))
+
+let looks_framed path =
+  match open_in_bin path with
+  | exception Sys_error _ -> false
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match really_input_string ic 4 with
+          | s -> s = "SB3 "
+          | exception End_of_file -> false)
+
+let load_ex path =
+  if looks_framed path then
+    match Durable.read_journal path with
+    | Error msg -> Error msg
+    | Ok (records, recovery) -> (
+        match file_of_records records recovery with
+        | Ok (f, rc) -> Ok (f, Some rc)
+        | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
+  else
+    (* legacy v2: one JSON document, parsed strictly *)
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | exception Sys_error msg -> Error msg
+    | text -> (
+        match J.of_string_opt text with
+        | None -> Error (Printf.sprintf "%s: not valid JSON" path)
+        | Some j -> (
+            try Ok (file_of_json j, None)
+            with Bad msg -> Error (Printf.sprintf "%s: %s" path msg)))
+
+let load path = Result.map fst (load_ex path)
 
 let lookup entries ~method_ index =
   List.find_map
@@ -227,39 +309,47 @@ let lookup entries ~method_ index =
     entries
 
 (* ------------------------------------------------------------------ *)
-(* Live journal.                                                       *)
+(* Live journal.  The sink writes the base image (header + any resumed
+   entries) atomically once, then appends one fsynced frame per
+   completed test: O(1) work per record instead of rewriting the world,
+   and a crash tears at most the final frame.  Storage failures degrade
+   the sink (the campaign keeps running with in-memory entries and the
+   storage layer has recorded the degradation) rather than raising. *)
 
 type sink = {
-  sk_path : string;
-  sk_fingerprint : string;
+  mutable sk_writer : Durable.writer option;  (* None once degraded *)
   mutable sk_entries : entry list;  (* reversed *)
   sk_mutex : Mutex.t;
 }
 
 let create_sink ~path ~fingerprint ~initial =
-  let sink =
-    {
-      sk_path = path;
-      sk_fingerprint = fingerprint;
-      sk_entries = List.rev initial;
-      sk_mutex = Mutex.create ();
-    }
+  let writer =
+    match
+      Durable.create_writer ~header_site:site_header ~append_site:site_append
+        ~path
+        ~initial:
+          (header_payload fingerprint :: List.map entry_payload initial)
+    with
+    | Ok w -> Some w
+    | Error _ -> None (* degradation recorded by the storage layer *)
   in
-  save path
-    { ck_fingerprint = fingerprint; ck_entries = initial };
-  sink
+  { sk_writer = writer; sk_entries = List.rev initial; sk_mutex = Mutex.create () }
 
 let record sink ~method_ result =
   Mutex.lock sink.sk_mutex;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock sink.sk_mutex)
     (fun () ->
-      sink.sk_entries <- { ck_method = method_; ck_result = result } :: sink.sk_entries;
-      save sink.sk_path
-        {
-          ck_fingerprint = sink.sk_fingerprint;
-          ck_entries = List.rev sink.sk_entries;
-        })
+      let e = { ck_method = method_; ck_result = result } in
+      sink.sk_entries <- e :: sink.sk_entries;
+      match sink.sk_writer with
+      | None -> ()
+      | Some w -> (
+          match Durable.append_record w (entry_payload e) with
+          | Ok () -> ()
+          | Error _ ->
+              Durable.close_writer w;
+              sink.sk_writer <- None))
 
 let entries sink =
   Mutex.lock sink.sk_mutex;

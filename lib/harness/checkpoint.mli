@@ -1,18 +1,29 @@
-(** Campaign checkpoint/resume: a crash-safe journal of completed
+(** Campaign checkpoint/resume: a crash-consistent journal of completed
     concurrent tests.
 
-    The coordinator appends one entry per finished test (keyed by the
-    method name and the test's 1-based plan index) and rewrites the
-    journal with a write-to-temp-then-rename, so a campaign killed at
-    any point leaves a loadable file.  On [--resume] the journal's
-    entries are fed to [Pipeline.run_method]'s [resume] hook: finished
-    work is skipped, and because per-test seeds derive from the plan
-    index, the merged statistics are byte-identical to an uninterrupted
-    run's.
+    Since schema v3 the journal is a CRC-framed record log
+    ({!Durable.frame}): one header record naming the schema and the
+    campaign fingerprint, then one record per finished test (keyed by
+    the method name and the test's 1-based plan index), each appended
+    with an fsync.  A crash — real or simulated via the
+    [checkpoint.header]/[checkpoint.append] crashpoints — tears at most
+    the final frame, and {!load} recovers the longest valid record
+    prefix from arbitrary truncation or bit corruption without raising.
+    On [--resume] the recovered entries are fed to
+    [Pipeline.run_method]'s [resume] hook: finished work is skipped,
+    and because per-test seeds derive from the plan index, the merged
+    statistics are byte-identical to an uninterrupted run's.  Journals
+    written by the previous (v2, whole-JSON-document) format are still
+    readable.
 
     A fingerprint of the campaign parameters guards against resuming
     with a different configuration, which would silently mix
-    incompatible results. *)
+    incompatible results.
+
+    Storage failures (ENOSPC, EIO) never abort the campaign: after
+    {!Obs.Storage.max_attempts} failed tries the sink degrades to
+    in-memory accumulation and the failure is reported through
+    {!Obs.Storage.degraded}. *)
 
 type entry = { ck_method : string; ck_result : Pipeline.test_result }
 
@@ -33,23 +44,39 @@ val fingerprint :
     retry limit) that also affect results. *)
 
 val save : string -> file -> unit
-(** Serialize and atomically replace [path] (write temp, rename). *)
+(** Serialize as framed v3 records and atomically replace [path]
+    (unique temp, fsync, rename, directory fsync).  Raises [Sys_error]
+    only after the storage layer's bounded retries are exhausted. *)
 
 val load : string -> (file, string) result
-(** Parse a journal; [Error] explains schema/shape problems. *)
+(** Parse a journal (framed v3, or a legacy v2 JSON document).  For v3
+    journals the read is total over corruption: the longest valid
+    record prefix is returned, never an exception.  [Error] is reserved
+    for an unreadable file, a wrong schema, or a journal whose header
+    record cannot be recovered. *)
+
+val load_ex : string -> (file * Durable.recovery option, string) result
+(** Like {!load}, additionally reporting what the frame scanner
+    recovered and dropped ([None] for legacy v2 documents, which are
+    all-or-nothing). *)
 
 val lookup : entry list -> method_:string -> int -> Pipeline.test_result option
 (** The journaled result for this method's plan index, if any. *)
 
 type sink
-(** A live journal: entries so far plus the path they are persisted to.
-    [record] is safe to call from [Parallel.run_method]'s serialized
-    [on_result] hook. *)
+(** A live journal: entries so far plus the append writer persisting
+    them.  [record] is safe to call from [Parallel.run_method]'s
+    serialized [on_result] hook. *)
 
 val create_sink : path:string -> fingerprint:string -> initial:entry list -> sink
+(** Sweep stale temp files next to [path], atomically write the base
+    image (header plus [initial]), and open the journal for appends.
+    If storage fails, the sink still accumulates entries in memory and
+    the degradation is recorded. *)
 
 val record : sink -> method_:string -> Pipeline.test_result -> unit
-(** Append one completed test and persist the whole journal
-    crash-safely. *)
+(** Append one completed test as a single fsynced frame (O(1) per
+    record).  On persistent storage failure the sink degrades rather
+    than raising. *)
 
 val entries : sink -> entry list

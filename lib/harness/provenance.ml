@@ -350,4 +350,5 @@ let json t ~(frontier : Frontier.t) =
           ] );
     ]
 
-let write t ~frontier path = J.write_file path (json t ~frontier)
+let write t ~frontier path =
+  J.write_file ~site:"provenance" path (json t ~frontier)

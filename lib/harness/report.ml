@@ -97,6 +97,32 @@ let resilience (stats : Pipeline.method_stats list) =
     hr ()
   end
 
+(* Storage health: printed only when something noteworthy happened
+   (retries, recovered/dropped journal records, or a degradation), so a
+   clean campaign's console output is unchanged. *)
+let storage () =
+  let v name =
+    match Obs.Metrics.value_by_name name with Some n -> n | None -> 0
+  in
+  let retries = v "snowboard.storage/write_retries" in
+  let recovered = v "snowboard.storage/recovered_records" in
+  let dropped = v "snowboard.storage/dropped_tail_records" in
+  let degraded = Obs.Storage.degraded () in
+  if retries > 0 || dropped > 0 || degraded <> [] then begin
+    pf "@.Storage (degraded: %b)@." (degraded <> []);
+    hr ();
+    pf "bytes written:            %d@." (v "snowboard.storage/bytes_written");
+    pf "fsyncs:                   %d@." (v "snowboard.storage/fsyncs");
+    pf "write retries:            %d@." retries;
+    pf "journal records recovered:%d@." recovered;
+    pf "journal records dropped:  %d@." dropped;
+    List.iter
+      (fun (site, e) ->
+        pf "  degraded %-22s %s@." site (Obs.Storage.err_to_string e))
+      degraded;
+    hr ()
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Machine-readable summary: the JSON counterpart of tables 2 and 3 and
    the accuracy section, suitable for BENCH_*.json artifacts.            *)
@@ -189,7 +215,8 @@ let json_accuracy (stats : Pipeline.method_stats list) =
       ("hint_precision_pct", pct hx hinted);
     ]
 
-let json_summary ?pipeline ~(stats : Pipeline.method_stats list)
+let json_summary ?pipeline ?(storage_degraded = false)
+    ~(stats : Pipeline.method_stats list)
     ~(found : (string * int list) list) () =
   let union = List.concat_map snd found |> List.sort_uniq compare in
   let pipeline_fields =
@@ -217,8 +244,11 @@ let json_summary ?pipeline ~(stats : Pipeline.method_stats list)
   in
   J.Obj
     (pipeline_fields
+    @ [ ("degraded", J.Bool (Pipeline.degraded stats || storage_degraded)) ]
+    (* the extra field appears only on an actual storage failure, so
+       healthy summaries stay byte-identical across crash/resume *)
+    @ (if storage_degraded then [ ("degraded_storage", J.Bool true) ] else [])
     @ [
-        ("degraded", J.Bool (Pipeline.degraded stats));
         ("table3", J.List (List.map json_of_method stats));
         (* flat list across methods so [snowboard explain] can pick a bug
            from the report without knowing the method layout *)

@@ -16,6 +16,12 @@ val resilience : Pipeline.method_stats list -> unit
     per method).  Silent when every test completed cleanly with no
     retries, so healthy campaigns print exactly what they always did. *)
 
+val storage : unit -> unit
+(** Storage-health table (bytes written, fsyncs, retries, journal
+    records recovered/dropped, degradations).  Silent when no retry,
+    recovery-with-drops or degradation occurred, so healthy campaigns
+    print exactly what they always did. *)
+
 val pmc_summary : Pipeline.t -> unit
 (** Corpus/profile/identification statistics of a prepared pipeline. *)
 
@@ -29,10 +35,15 @@ val json_of_outcomes : Pipeline.outcome_stats -> Obs.Export.json
 
 val json_summary :
   ?pipeline:Pipeline.t ->
+  ?storage_degraded:bool ->
   stats:Pipeline.method_stats list ->
   found:(string * int list) list ->
   unit ->
   Obs.Export.json
 (** The machine-readable counterpart of {!table2}, {!table3} and
     {!accuracy} (plus {!pmc_summary} when [pipeline] is given), built on
-    {!Obs.Export.json} so campaigns can emit BENCH_*.json artifacts. *)
+    {!Obs.Export.json} so campaigns can emit BENCH_*.json artifacts.
+    [storage_degraded] (default [false]) ORs into the ["degraded"] flag
+    and adds a ["degraded_storage"] marker; when false the output bytes
+    are unchanged, preserving crash/resume byte-identity of healthy
+    summaries. *)

@@ -612,8 +612,7 @@ let table () =
       List.iter (add_span 2) roots);
   Buffer.contents b
 
-let write_file path v =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string v))
+let write_file ?(site = "artifact") path v =
+  match Storage.write_atomic ~site ~path (to_string v) with
+  | Ok () -> ()
+  | Error e -> raise (Sys_error (Storage.err_to_string e))

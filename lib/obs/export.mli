@@ -65,4 +65,9 @@ val registry_json :
 val table : unit -> string
 (** Aligned text table of every metric followed by the span tree. *)
 
-val write_file : string -> json -> unit
+val write_file : ?site:string -> string -> json -> unit
+(** Atomically write the rendered JSON through
+    {!Storage.write_atomic} at crashpoint [site] (default
+    ["artifact"]).  Raises [Sys_error] only after the storage layer's
+    bounded retries are exhausted (the degradation is also recorded in
+    {!Storage.degraded}). *)

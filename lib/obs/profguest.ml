@@ -260,12 +260,9 @@ let flame_lines () =
   |> List.sort String.compare
 
 let write_flame path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      List.iter
-        (fun l ->
-          output_string oc l;
-          output_char oc '\n')
-        (flame_lines ()))
+  let body =
+    String.concat "" (List.map (fun l -> l ^ "\n") (flame_lines ()))
+  in
+  match Storage.write_atomic ~site:"flame" ~path body with
+  | Ok () -> ()
+  | Error e -> raise (Sys_error (Storage.err_to_string e))

@@ -25,7 +25,7 @@
 type progress = Off | Plain | Hud
 
 type state = {
-  mutable out : out_channel option;
+  mutable out : Storage.chan option;
   mutable progress : progress;
   mutable det : bool;
   mutable interval : int;  (* det mode: guest instructions per snapshot *)
@@ -95,10 +95,19 @@ let set_hud = function
 
 let set_total n = st.total <- n
 
+(* the NDJSON stream's crashpoint: one durable write per snapshot line *)
+let site_line = "telemetry.line"
+
 let configure ?out ?(progress = Off) ?(deterministic = true)
     ?(interval = default_interval) ?(period = default_period) ~enabled:en () =
-  (match st.out with Some oc -> close_out oc | None -> ());
-  st.out <- Option.map open_out out;
+  (match st.out with Some c -> Storage.close_chan c | None -> ());
+  st.out <-
+    Option.bind out (fun path ->
+        (* a stream that cannot open degrades the artifact, not the
+           campaign; the storage layer has recorded why *)
+        match Storage.open_chan ~site:site_line path with
+        | Ok c -> Some c
+        | Error _ -> None);
   st.progress <- progress;
   st.det <- deterministic;
   st.interval <- max 1 interval;
@@ -301,10 +310,14 @@ let snapshot ?(reason = "forced") () =
     let now = Unix.gettimeofday () in
     let line = snapshot_line ~reason ~now in
     (match st.out with
-    | Some oc ->
-        output_string oc (Export.to_line line);
-        output_char oc '\n';
-        flush oc
+    | Some c -> (
+        (* one whole line per durable write: a mid-stream kill can tear
+           only the final line, every earlier line is fsynced and whole *)
+        match Storage.chan_write c (Export.to_line line ^ "\n") with
+        | Ok () -> ()
+        | Error _ ->
+            Storage.close_chan c;
+            st.out <- None)
     | None -> ());
     st.seq <- st.seq + 1;
     let trials = lookup trials_metric in
@@ -343,7 +356,7 @@ let close () =
       output_char stderr '\n';
       flush stderr
     end;
-    (match st.out with Some oc -> close_out oc | None -> ());
+    (match st.out with Some c -> Storage.close_chan c | None -> ());
     st.out <- None;
     Atomic.set enabled_flag false
   end

@@ -38,9 +38,14 @@ val configure :
   unit ->
   unit
 (** Reset the pipeline.  [out] is the NDJSON destination (opened eagerly,
-    truncating); omitting it streams nowhere but still drives the
-    progress display.  [deterministic] (default [true]) selects the
-    cadence rule. *)
+    truncating, through {!Storage.open_chan} at crashpoint
+    ["telemetry.line"]); omitting it streams nowhere but still drives
+    the progress display.  Every snapshot line is written and fsynced
+    as one durable unit, so a mid-stream kill leaves only whole,
+    parseable lines (at most the final line is torn).  Storage failures
+    drop the stream gracefully — the campaign continues and the
+    degradation is recorded in {!Storage.degraded}.  [deterministic]
+    (default [true]) selects the cadence rule. *)
 
 val enabled : unit -> bool
 

@@ -188,6 +188,40 @@ let test_tick_noop_on_worker_domain () =
   Sys.remove path;
   checki "only the main domain's final snapshot" 1 (List.length lines)
 
+(* ---------------- mid-stream kill ---------------- *)
+
+(* Every snapshot is one whole fsynced line, so a kill mid-write tears
+   at most the final line: a post-mortem reader sees only complete,
+   parseable NDJSON lines plus (possibly) one unterminated fragment. *)
+let test_mid_stream_kill_leaves_whole_lines () =
+  reset ();
+  let path = Filename.temp_file "tel_kill" ".ndjson" in
+  Obs.Telemetry.configure ~out:path ~deterministic:true ~enabled:true ();
+  Obs.Telemetry.snapshot ~reason:"one" ();
+  Obs.Telemetry.snapshot ~reason:"two" ();
+  Obs.Storage.arm_crash ~mode:Obs.Storage.Raise ~site:"telemetry.line" ~k:1 ();
+  (match Obs.Telemetry.snapshot ~reason:"torn" () with
+  | () -> Alcotest.fail "armed crashpoint must fire"
+  | exception Obs.Storage.Crash_simulated _ -> ());
+  Obs.Storage.disarm_crash ();
+  (* read the wreckage as a post-mortem consumer would, without closing
+     the stream: the writing process is "dead" *)
+  let ic = open_in_bin path in
+  let bytes = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Obs.Telemetry.configure ~enabled:false ();
+  Sys.remove path;
+  let whole, tail =
+    match List.rev (String.split_on_char '\n' bytes) with
+    | tail :: rev_whole -> (List.rev rev_whole, tail)
+    | [] -> ([], "")
+  in
+  checki "both fsynced lines survive whole" 2 (List.length whole);
+  checkb "every terminated line parses as JSON" true
+    (List.for_all (fun l -> Obs.Export.of_string_opt l <> None) whole);
+  checkb "the torn fragment is not a parseable line" true
+    (tail = "" || Obs.Export.of_string_opt tail = None)
+
 (* ---------------- nondeterministic-unit scrub ---------------- *)
 
 let test_nondeterministic_unit_predicate () =
@@ -360,6 +394,8 @@ let () =
             test_stream_deterministic;
           Alcotest.test_case "worker-domain ticks are no-ops" `Quick
             test_tick_noop_on_worker_domain;
+          Alcotest.test_case "mid-stream kill leaves whole lines" `Quick
+            test_mid_stream_kill_leaves_whole_lines;
         ] );
       ( "scrub",
         [
