@@ -22,6 +22,7 @@
      telemetry   - live telemetry streaming overhead (BENCH_telemetry.json)
      provenance  - PMC provenance + guest profiler: identity, overhead (BENCH_provenance.json)
      durability  - crash-consistent storage: framing totality, fsck, journaling overhead (BENCH_durability.json)
+     scaling     - work-stealing domain pool + warm VM pool (BENCH_scaling.json)
 
    Scaled-down parameters (a few hundred sequential tests rather than
    129,876; minutes rather than machine-weeks) are printed with each
@@ -1629,6 +1630,186 @@ let durability_bench () =
   | _ -> pf "wrote %s but it does not parse back as a JSON object@." path
 
 (* ------------------------------------------------------------------ *)
+(* E18: work-stealing domain pool + warm VM pool                       *)
+
+(* Quantifies the scheduling substrate that replaced PR 4's static
+   shards: steal-half deques over a warm VM pool, for both parallel
+   phases.  Every mode is first proven to produce identical results
+   (profiles, method stats) to the sequential oracle — speedups are only
+   ever reported for a semantics-preserving schedule.  In
+   --deterministic mode only the equality verdicts are emitted, so the
+   artifact is a pure function of the seed. *)
+let scaling_bench () =
+  section "E18: work-stealing + warm VM pool scaling (BENCH_scaling.json)";
+  Obs.Storage.declare_site "bench.scaling";
+  let jobs = max 1 !bench_jobs in
+  let det = !bench_deterministic in
+  let cfg =
+    {
+      (campaign_cfg Kernel.Config.v5_12_rc3) with
+      Harness.Pipeline.fuzz_iters = 600;
+      trials_per_test = 8;
+      jobs;
+    }
+  in
+  let kernel = cfg.Harness.Pipeline.kernel in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  (* one corpus up front so every profiling mode measures the same work *)
+  let env = Sched.Exec.make_env kernel in
+  let corpus, _ =
+    Harness.Pipeline.fuzz ~seeds:cfg.Harness.Pipeline.seed_corpus env
+      ~seed:cfg.Harness.Pipeline.seed ~iters:cfg.Harness.Pipeline.fuzz_iters
+  in
+  pf "corpus: %d tests; %d worker domains@." (Fuzzer.Corpus.size corpus) jobs;
+  (* counters attributing the win: steals on the harness side, VM reuse
+     on the vmm side *)
+  let c_steals = Obs.Metrics.counter "snowboard.harness/steals" in
+  let c_steal_items = Obs.Metrics.counter "snowboard.harness/steal_items" in
+  let c_hits = Obs.Metrics.counter "snowboard.vmm/vm_reuse_hits" in
+  let c_misses = Obs.Metrics.counter "snowboard.vmm/vm_reuse_misses" in
+  let c_transfers = Obs.Metrics.counter "snowboard.vmm/vm_lease_transfers" in
+  let snap_counters () =
+    List.map Obs.Metrics.counter_value
+      [ c_steals; c_steal_items; c_hits; c_misses; c_transfers ]
+  in
+  (* 1. profile phase: sequential oracle vs static shards (fresh VM per
+     domain, the PR 4 design) vs work stealing over the warm pool *)
+  ignore (Harness.Pipeline.profile_corpus env corpus);
+  (* warm-up *)
+  let (seq_profiles, _), dt_prof_seq =
+    time (fun () -> Harness.Pipeline.profile_corpus env corpus)
+  in
+  let (static_profiles, _), dt_prof_static =
+    time (fun () ->
+        Harness.Pipeline.profile_corpus_parallel ~static:true ~jobs ~kernel
+          corpus)
+  in
+  (* first stealing pass boots the pool; the timed pass measures the
+     warm steady state every later batch, method and campaign sees *)
+  ignore (Harness.Pipeline.profile_corpus_parallel ~jobs ~kernel corpus);
+  let c0 = snap_counters () in
+  let (steal_profiles, _), dt_prof_steal =
+    time (fun () ->
+        Harness.Pipeline.profile_corpus_parallel ~jobs ~kernel corpus)
+  in
+  let prof_deltas = List.map2 ( - ) (snap_counters ()) c0 in
+  let prof_static_ok = static_profiles = seq_profiles in
+  let prof_steal_ok = steal_profiles = seq_profiles in
+  pf "profile: sequential %.3fs, static %d shards %.3fs (%.2fx), work-steal %.3fs (%.2fx); identical: static %b, steal %b@."
+    dt_prof_seq jobs dt_prof_static
+    (dt_prof_seq /. max 1e-9 dt_prof_static)
+    dt_prof_steal
+    (dt_prof_seq /. max 1e-9 dt_prof_steal)
+    prof_static_ok prof_steal_ok;
+  (* 2. end-to-end prepare (fuzz + profile + identify), jobs=1 vs
+     jobs=N over the (now warm) pool — the E13 configuration that static
+     sharding turned into a net slowdown *)
+  let _, dt_prep_seq =
+    time (fun () ->
+        Harness.Pipeline.prepare { cfg with Harness.Pipeline.jobs = 1 })
+  in
+  let t, dt_prep_par = time (fun () -> Harness.Pipeline.prepare cfg) in
+  let prepare_speedup = dt_prep_seq /. max 1e-9 dt_prep_par in
+  pf "end-to-end prepare: jobs=1 %.3fs, jobs=%d %.3fs (%.2fx)@." dt_prep_seq
+    jobs dt_prep_par prepare_speedup;
+  (* 3. explore phase: one method's budget, sequential vs static shards
+     vs work stealing; method stats (bugs, outcomes, everything) must be
+     structurally identical in all three *)
+  let method_ = Core.Select.Strategy Core.Cluster.S_INS in
+  let budget = 60 in
+  ignore (Harness.Parallel.run_method ~domains:jobs t method_ ~budget:5);
+  (* warm-up *)
+  let seq_stats, dt_exp_seq =
+    time (fun () -> Harness.Pipeline.run_method t method_ ~budget)
+  in
+  let static_stats, dt_exp_static =
+    time (fun () ->
+        Harness.Parallel.run_method ~domains:jobs ~static:true t method_
+          ~budget)
+  in
+  let e0 = snap_counters () in
+  let steal_stats, dt_exp_steal =
+    time (fun () -> Harness.Parallel.run_method ~domains:jobs t method_ ~budget)
+  in
+  let exp_deltas = List.map2 ( - ) (snap_counters ()) e0 in
+  let exp_static_ok = static_stats = seq_stats in
+  let exp_steal_ok = steal_stats = seq_stats in
+  let explore_speedup = dt_exp_seq /. max 1e-9 dt_exp_steal in
+  pf "explore (%d tests x %d trials): sequential %.3fs, static %.3fs (%.2fx), work-steal %.3fs (%.2fx); identical: static %b, steal %b@."
+    budget cfg.Harness.Pipeline.trials_per_test dt_exp_seq dt_exp_static
+    (dt_exp_seq /. max 1e-9 dt_exp_static)
+    dt_exp_steal explore_speedup exp_static_ok exp_steal_ok;
+  (match (prof_deltas, exp_deltas) with
+  | [ ps; pi; ph; pm; pt ], [ es; ei; eh; em; et ] ->
+      pf "profile leg: %d steals (%d items), VM leases %d hit / %d boot / %d transfer@."
+        ps pi ph pm pt;
+      pf "explore leg: %d steals (%d items), VM leases %d hit / %d boot / %d transfer@."
+        es ei eh em et
+  | _ -> ());
+  let open Obs.Export in
+  let json =
+    Obj
+      ([
+         ("experiment", String "scaling");
+         ("jobs", Int jobs);
+         ("deterministic", Bool det);
+         ("corpus_tests", Int (Fuzzer.Corpus.size corpus));
+         ("explore_tests", Int budget);
+         ("trials_per_test", Int cfg.Harness.Pipeline.trials_per_test);
+         ("profile_static_identical", Bool prof_static_ok);
+         ("profile_steal_identical", Bool prof_steal_ok);
+         ("explore_static_identical", Bool exp_static_ok);
+         ("explore_steal_identical", Bool exp_steal_ok);
+       ]
+      @
+      if det then []
+      else
+        let counters tag = function
+          | [ s; i; h; m; t ] ->
+              [
+                (tag ^ "_steals", Int s);
+                (tag ^ "_steal_items", Int i);
+                (tag ^ "_vm_reuse_hits", Int h);
+                (tag ^ "_vm_boots", Int m);
+                (tag ^ "_vm_transfers", Int t);
+              ]
+          | _ -> []
+        in
+        [
+          ("profile_seq_s", Float dt_prof_seq);
+          ("profile_static_s", Float dt_prof_static);
+          ("profile_steal_s", Float dt_prof_steal);
+          ("profile_speedup", Float (dt_prof_seq /. max 1e-9 dt_prof_steal));
+          ("prepare_seq_s", Float dt_prep_seq);
+          ("prepare_par_s", Float dt_prep_par);
+          ("prepare_speedup", Float prepare_speedup);
+          ("prepare_scales", Bool (prepare_speedup > 1.0));
+          ("explore_seq_s", Float dt_exp_seq);
+          ("explore_static_s", Float dt_exp_static);
+          ("explore_steal_s", Float dt_exp_steal);
+          ("explore_speedup", Float explore_speedup);
+          ("explore_scales", Bool (explore_speedup > 1.0));
+        ]
+        @ counters "profile" prof_deltas
+        @ counters "explore" exp_deltas)
+  in
+  let path = "BENCH_scaling.json" in
+  write_file ~site:"bench.scaling" path json;
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let body = really_input_string ic n in
+  close_in ic;
+  match of_string_opt body with
+  | Some (Obj fields) ->
+      pf "wrote %s (%d bytes, %d fields, parses back OK)@." path n
+        (List.length fields)
+  | _ -> pf "wrote %s but it does not parse back as a JSON object@." path
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1650,6 +1831,7 @@ let experiments =
     ("telemetry", telemetry_bench);
     ("provenance", provenance_bench);
     ("durability", durability_bench);
+    ("scaling", scaling_bench);
   ]
 
 let () =

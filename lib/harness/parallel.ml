@@ -3,21 +3,26 @@
    The paper distributed concurrent tests over a cloud platform through a
    lightweight work queue (section 4.4.1, "we integrate the execution
    platform with a lightweight distributed queue").  This is the
-   single-machine analogue: the concurrent-test plan is sharded
-   round-robin over worker domains, each with its own guest VM (built
-   from the same kernel configuration, so all snapshots are identical),
+   single-machine analogue: the concurrent-test plan feeds the
+   work-stealing pool ([Workpool]) and every worker leases a pre-booted
+   guest VM from the process-wide warm pool ([Exec.warm_pool]) — built
+   from the same kernel configuration, so all snapshots are identical —
    and the per-test results are merged through the same
    [Pipeline.stats_of_results] fold the sequential campaign uses.
 
-   Per-test seeds derive from the test's global plan index, so a parallel
-   run explores exactly the same interleavings as the sequential one and
-   finds exactly the same issues.
+   Per-test seeds derive from the test's global plan index and results
+   land in per-index slots, so a parallel run explores exactly the same
+   interleavings as the sequential one and finds exactly the same
+   issues, whatever the worker count or steal schedule.
 
    Resilience: every test runs under [Pipeline.run_one_test]'s
-   supervisor, and a worker domain that dies outright (a harness bug, an
-   OOM kill of its VM, ...) fails only its shard — the join is wrapped,
-   the dead shard's tests are recorded as [Crashed], and the surviving
-   shards' statistics still merge. *)
+   supervisor, and an exception that escapes it (a harness bug, an OOM
+   kill of its VM, ...) costs exactly that test — the pool records it
+   per item and the coordinator synthesizes a [Crashed] record for it.
+
+   The PR 4 static round-robin sharding, where each domain boots a
+   fresh VM and a dead worker fails its whole shard, is kept behind
+   [~static:true] as the equivalence oracle and benchmark baseline. *)
 
 module Exec = Sched.Exec
 
@@ -42,44 +47,55 @@ let run_shard ~(cfg : Pipeline.config) ~(ident : Core.Identify.t)
       r)
     tests
 
-(* A whole shard lost to a dead worker: synthesize a [Crashed] record
-   per test so the campaign still accounts for every planned test.
-   These are deliberately NOT journaled as completed work — a resumed
-   campaign re-runs them. *)
-let shard_failure tests exn =
+(* A planned test lost to a dead worker: synthesize a [Crashed] record
+   so the campaign still accounts for it.  Deliberately NOT journaled
+   as completed work — a resumed campaign re-runs it. *)
+let crashed_result (index, (ct : Core.Select.conc_test)) exn =
   let detail = Supervise.describe exn in
-  List.map
-    (fun (index, (ct : Core.Select.conc_test)) ->
-      {
-        Pipeline.tr_index = index;
-        tr_hinted = ct.Core.Select.hint <> None;
-        tr_outcome = Supervise.Crashed ("worker domain died: " ^ detail);
-        tr_retries = 0;
-        tr_exercised = false;
-        tr_pmc_observed = false;
-        tr_issues = [];
-        tr_unknown = 0;
-        tr_trials = 0;
-        tr_steps = 0;
-        tr_hint_hits = 0;
-        tr_miss_no_write = 0;
-        tr_miss_no_read = 0;
-        tr_miss_value = 0;
-        tr_prof = [];
-        tr_bug = None;
-      })
-    tests
+  {
+    Pipeline.tr_index = index;
+    tr_hinted = ct.Core.Select.hint <> None;
+    tr_outcome = Supervise.Crashed ("worker domain died: " ^ detail);
+    tr_retries = 0;
+    tr_exercised = false;
+    tr_pmc_observed = false;
+    tr_issues = [];
+    tr_unknown = 0;
+    tr_trials = 0;
+    tr_steps = 0;
+    tr_hint_hits = 0;
+    tr_miss_no_write = 0;
+    tr_miss_no_read = 0;
+    tr_miss_value = 0;
+    tr_prof = [];
+    tr_bug = None;
+  }
 
-(* Work distribution is shared with the parallel profile phase. *)
+(* A whole shard lost to a dead worker (static path only — the
+   work-stealing path contains failures per test). *)
+let shard_failure tests exn = List.map (fun t -> crashed_result t exn) tests
+
+(* Static work distribution, shared with the parallel profile phase;
+   kept as the equivalence oracle for the work-stealing default. *)
 let shard = Pipeline.shard
 
-let default_domains () = max 1 (min 4 (Domain.recommended_domain_count () - 1))
+(* One worker domain per core, minus one for the coordinator.  The old
+   hard cap of 4 silently throttled bigger machines; capping is now
+   opt-in through SNOWBOARD_MAX_DOMAINS (or an explicit [~domains]). *)
+let default_domains () =
+  let recommended = max 1 (Domain.recommended_domain_count () - 1) in
+  match Sys.getenv_opt "SNOWBOARD_MAX_DOMAINS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some cap when cap >= 1 -> min cap recommended
+      | _ -> recommended)
+  | None -> recommended
 
 (* Parallel analogue of [Pipeline.run_method].  The plan is built in the
    calling domain; execution fans out over [domains] workers. *)
 let run_method ?(kind = Sched.Explore.Snowboard) ?domains ?sup ?faults
-    ?(resume = fun _ -> None) ?(on_result = fun _ -> ()) (t : Pipeline.t)
-    method_ ~budget =
+    ?(static = false) ?(resume = fun _ -> None) ?(on_result = fun _ -> ())
+    (t : Pipeline.t) method_ ~budget =
   let domains = match domains with Some d -> max 1 d | None -> default_domains () in
   Obs.Telemetry.phase ("execute:" ^ Core.Select.method_name method_);
   let plan = Pipeline.plan_method t method_ ~budget in
@@ -112,21 +128,43 @@ let run_method ?(kind = Sched.Explore.Snowboard) ?domains ?sup ?faults
     Fun.protect ~finally:(fun () -> Mutex.unlock sink_mutex) (fun () ->
         on_result r)
   in
-  let shards = shard domains todo in
-  let workers =
-    Array.map
-      (fun sh ->
-        ( sh,
-          Domain.spawn (fun () ->
-              run_shard ~cfg:t.Pipeline.cfg ~ident:t.Pipeline.ident
-                ~prog_of_id ~kind ?sup ?faults ~on_result:record sh) ))
-      shards
-  in
-  (* one crashed worker fails its shard, not the campaign *)
   let results =
-    Array.to_list workers
-    |> List.concat_map (fun (sh, w) ->
-           try Domain.join w with e -> shard_failure sh e)
+    if static then begin
+      let shards = shard domains todo in
+      let workers =
+        Array.map
+          (fun sh ->
+            ( sh,
+              Domain.spawn (fun () ->
+                  run_shard ~cfg:t.Pipeline.cfg ~ident:t.Pipeline.ident
+                    ~prog_of_id ~kind ?sup ?faults ~on_result:record sh) ))
+          shards
+      in
+      (* one crashed worker fails its shard, not the campaign *)
+      Array.to_list workers
+      |> List.concat_map (fun (sh, w) ->
+             try Domain.join w with e -> shard_failure sh e)
+    end
+    else
+      (* Work-stealing default: workers lease warm VMs (boot only on a
+         cold pool) and the plan rebalances itself across domains.  The
+         steal-policy seed comes from the campaign seed purely for
+         reproducible victim orders in traces; results are independent
+         of it by construction. *)
+      let pool = Exec.warm_pool t.Pipeline.cfg.Pipeline.kernel in
+      Workpool.run ~jobs:domains ~seed:t.Pipeline.cfg.Pipeline.seed
+        ~worker:(fun w -> Vmm.Vmpool.lease pool ~worker:w)
+        ~finish:(fun w env -> Vmm.Vmpool.release pool ~worker:w env)
+        ~f:(fun env _ (index, ct) ->
+          let r =
+            Pipeline.run_one_test ~env ~ident:t.Pipeline.ident
+              ~cfg:t.Pipeline.cfg ~kind ?sup ?faults ~prog_of_id ~index ct
+          in
+          record r;
+          r)
+        ~fallback:(fun _ test exn -> crashed_result test exn)
+        (Array.of_list todo)
+      |> Array.to_list
   in
   let all = stored @ results in
   (* Frontier and provenance notes happen here on the coordinator, after
@@ -153,7 +191,7 @@ let run_method ?(kind = Sched.Explore.Snowboard) ?domains ?sup ?faults
     ~num_clusters:plan.Core.Select.num_clusters
     ~planned:(List.length plan.Core.Select.tests) all
 
-let run_campaign ?domains ?sup ?faults t ~budget =
+let run_campaign ?domains ?sup ?faults ?static t ~budget =
   List.map
-    (fun m -> run_method ?domains ?sup ?faults t m ~budget)
+    (fun m -> run_method ?domains ?sup ?faults ?static t m ~budget)
     Core.Select.all_paper_methods

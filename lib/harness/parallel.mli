@@ -1,15 +1,22 @@
 (** Parallel campaign execution over OCaml domains: the single-machine
     analogue of the paper's distributed work queue (section 4.4.1).  The
-    plan is sharded round-robin; every worker gets its own guest VM; the
-    per-test seed derives from the global plan index, so the parallel run
-    finds exactly the same issues as [Pipeline.run_method].
+    plan feeds the work-stealing pool ({!Workpool}); every worker leases
+    a pre-booted guest VM from the warm pool ({!Sched.Exec.warm_pool});
+    the per-test seed derives from the global plan index and results
+    land in per-index slots, so the parallel run finds exactly the same
+    issues — and renders byte-identical artifacts — as
+    {!Pipeline.run_method}, for any worker count or steal schedule.
 
     Resilience: tests run under {!Pipeline.run_one_test}'s supervisor,
-    and a worker domain that dies outright fails only its shard — its
-    tests are recorded as [Crashed] while the surviving shards' results
-    still merge into the method statistics. *)
+    and an exception escaping it costs exactly that test (recorded as
+    [Crashed]); the static oracle path keeps PR 4's coarser
+    whole-shard containment. *)
 
 val default_domains : unit -> int
+(** [Domain.recommended_domain_count () - 1] (at least 1): one worker
+    per core, minus the coordinator.  No built-in cap — big machines
+    get all their cores; set [SNOWBOARD_MAX_DOMAINS] (or pass
+    [~domains]) to throttle. *)
 
 val prog_of_table : (int, Fuzzer.Prog.t) Hashtbl.t -> int -> Fuzzer.Prog.t
 (** Lookup in the shared program snapshot; raises [Invalid_argument]
@@ -25,21 +32,27 @@ val run_shard :
   ?on_result:(Pipeline.test_result -> unit) ->
   (int * Core.Select.conc_test) list ->
   Pipeline.test_result list
-(** Run one shard of (global 1-based index, test) pairs in a private
-    guest VM, invoking [on_result] after each test (the coordinator
-    passes a mutex-guarded journal hook). *)
+(** Run one static shard of (global 1-based index, test) pairs in a
+    private, freshly booted guest VM, invoking [on_result] after each
+    test.  Only the [~static] oracle path uses this. *)
+
+val crashed_result :
+  int * Core.Select.conc_test -> exn -> Pipeline.test_result
+(** The [Crashed] record synthesized for a planned test whose worker
+    died.  Not journaled as completed work, so a resumed campaign
+    re-runs it. *)
 
 val shard_failure :
   (int * Core.Select.conc_test) list -> exn -> Pipeline.test_result list
-(** The results synthesized for a shard whose worker domain died: one
-    [Crashed] record per test.  Not journaled as completed work, so a
-    resumed campaign re-runs them. *)
+(** {!crashed_result} over a whole lost shard (static path only; the
+    work-stealing path contains failures per test). *)
 
 val run_method :
   ?kind:Sched.Explore.kind ->
   ?domains:int ->
   ?sup:Supervise.policy ->
   ?faults:Sched.Fault.plan ->
+  ?static:bool ->
   ?resume:(int -> Pipeline.test_result option) ->
   ?on_result:(Pipeline.test_result -> unit) ->
   Pipeline.t ->
@@ -48,13 +61,16 @@ val run_method :
   Pipeline.method_stats
 (** Parallel analogue of {!Pipeline.run_method}, same optional
     supervision/fault/checkpoint hooks.  [on_result] is serialized
-    under a mutex; a worker that dies fails only its shard
-    ({!shard_failure}). *)
+    under a mutex.  [static:true] (default false) selects the PR 4
+    static-shard path — fresh VM per domain, whole-shard failure
+    containment — kept as the equivalence oracle for the work-stealing
+    default. *)
 
 val run_campaign :
   ?domains:int ->
   ?sup:Supervise.policy ->
   ?faults:Sched.Fault.plan ->
+  ?static:bool ->
   Pipeline.t ->
   budget:int ->
   Pipeline.method_stats list

@@ -30,10 +30,14 @@ val of_string_opt : string -> json option
 (** [of_string] with the {!Parse_error} mapped to [None]. *)
 
 val is_nondeterministic_unit : string -> bool
-(** True for units whose values derive from the wall clock: elapsed time
+(** True for units whose values derive from the wall clock — elapsed time
     (["us"], ["ms"], ["ns"], ["s"]) and any per-second rate (a unit
-    ending in ["/s"], e.g. ["instr/s"], ["trials/s"], ["pages/s"]).
-    Deterministic artifacts scrub metrics carrying such units. *)
+    ending in ["/s"], e.g. ["instr/s"], ["trials/s"], ["pages/s"]) — and
+    for units with a leading ['~'], the opt-in marker for metrics whose
+    values depend on OS scheduling timing without being clocks (the
+    work-stealing pool's ["~steal"]/["~item"]/["~scan"] counters, the VM
+    pool's ["~vm"] reuse counters).  Deterministic artifacts scrub
+    metrics carrying such units. *)
 
 val metrics_json : ?deterministic:bool -> unit -> json
 (** The registry as a JSON list, sorted by metric name.  In deterministic

@@ -113,6 +113,37 @@ let make_env cfg =
   let vm, snap = Kernel.boot kern in
   { kern; vm; snap; attr = attr_of_image kern.Kernel.image }
 
+(* Process-wide warm pools of booted environments, one per kernel
+   configuration.  Every run restores [env.snap] before touching the
+   guest, so a pooled env carries no state between leaseholders; what it
+   does carry is the boot cost — the pool is what lets the parallel
+   phases reuse [jobs] boots across batches, methods and whole
+   campaigns instead of paying one per shard.  Config keys are plain
+   bool records, so structural equality is the identity we want. *)
+let pools : (Kernel.Config.t * env Vmm.Vmpool.t) list ref = ref []
+let pools_lock = Mutex.create ()
+
+let warm_pool cfg =
+  Mutex.lock pools_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock pools_lock)
+    (fun () ->
+      match List.assoc_opt cfg !pools with
+      | Some p -> p
+      | None ->
+          let p =
+            Vmm.Vmpool.create
+              ~boot:(fun () -> make_env cfg)
+              ~on_transfer:(fun e -> Vm.invalidate_delta e.vm)
+                (* flush per-VM counter tails as machines come back, so
+                   a phase boundary sees the same totals whatever the
+                   steal schedule assigned to each machine *)
+              ~on_release:(fun e -> Vm.flush_stats e.vm)
+              ()
+          in
+          pools := (cfg, p) :: !pools;
+          p)
+
 type observer = {
   on_access : Trace.access -> ctx:string -> unit;
   on_event : Obs.Event.kind -> tid:int -> unit;

@@ -22,7 +22,15 @@ let m_events_sunk = Obs.Metrics.counter "snowboard.vmm/events_sunk"
 let m_snapshot_saves = Obs.Metrics.counter "snowboard.vmm/snapshot_saves"
 let m_snapshot_restores = Obs.Metrics.counter "snowboard.vmm/snapshot_restores"
 
-let m_pages_restored = Obs.Metrics.counter "snowboard.vmm/pages_restored"
+(* How many pages a restore copies depends on what last ran on this
+   machine — under work stealing that is a scheduling accident, so the
+   counter carries the "~" unit marking it timing-dependent and
+   deterministic artifacts scrub it (Obs.Export.is_nondeterministic_unit).
+   [pages_total] counts full blits' worth of pages per restore and stays
+   deterministic. *)
+let m_pages_restored =
+  Obs.Metrics.counter ~unit_:"~page" "snowboard.vmm/pages_restored"
+
 let m_pages_total = Obs.Metrics.counter "snowboard.vmm/pages_total"
 
 type mode = Kernel | User | Dead
@@ -144,6 +152,15 @@ let clear_dirty t =
    does a full blit and re-arms (or stays full-copy forever). *)
 let set_dirty_tracking t b =
   t.tracking <- b;
+  t.last_snap <- -1;
+  clear_dirty t
+
+(* Drop the delta without touching the tracking flag: the next restore
+   full-blits and re-arms against its snapshot.  The VM pool calls this
+   when a machine changes hands — the new leaseholder's snapshot is not
+   the one the memory is delta-tracked against, and trusting a stale
+   [last_snap] id across owners would restore too few pages. *)
+let invalidate_delta t =
   t.last_snap <- -1;
   clear_dirty t
 

@@ -54,6 +54,20 @@ val num_pages : int
 val dirty_page_count : t -> int
 (** Pages written since the VM last synchronized with a snapshot. *)
 
+val invalidate_delta : t -> unit
+(** Drop the current dirty-page delta (the tracking flag is untouched):
+    the next [restore] performs a full blit and re-arms against its
+    snapshot.  {!Vmpool} calls this on lease transfer, where the new
+    owner's snapshot is not the one the memory is tracked against. *)
+
+val flush_stats : t -> unit
+(** Forward this machine's pending instruction/access/event counts to
+    the global metrics registry.  Happens automatically at snapshot and
+    restore boundaries; the warm pool also flushes on release
+    ({!Sched.Exec.warm_pool}'s [on_release]) so phase-boundary telemetry
+    totals never depend on which machine still holds the unflushed tail
+    of its last run — an accident of the steal schedule. *)
+
 val set_dirty_tracking : t -> bool -> unit
 (** Enable/disable dirty-page tracking on this VM (default: the global
     default).  Either transition invalidates the current delta, so the

@@ -229,31 +229,42 @@ let test_nondeterministic_unit_predicate () =
     (fun u ->
       checkb (u ^ " is nondeterministic") true
         (Obs.Export.is_nondeterministic_unit u))
-    [ "us"; "ms"; "ns"; "s"; "steps/s"; "pages/s"; "trials/s"; "instr/s" ];
+    [
+      "us"; "ms"; "ns"; "s"; "steps/s"; "pages/s"; "trials/s"; "instr/s";
+      (* the "~" opt-in marker: scheduling-timing-dependent counts
+         (pool steals, VM reuse, restore page tallies) *)
+      "~vm"; "~steal"; "~item"; "~scan"; "~page";
+    ];
   List.iter
     (fun u ->
       checkb (u ^ " is deterministic") false
         (Obs.Export.is_nondeterministic_unit u))
-    [ ""; "pages"; "bytes"; "tests"; "s/x"; "instructions" ]
+    [ ""; "pages"; "bytes"; "tests"; "s/x"; "instructions"; "a~b" ]
 
 let test_deterministic_artifact_scrubs_rates () =
   reset ();
   let c = Obs.Metrics.counter ~unit_:"steps/s" "tel/banned_rate" in
   let g = Obs.Metrics.gauge ~unit_:"trials/s" "tel/banned_gauge" in
   let t = Obs.Metrics.counter ~unit_:"us" "tel/banned_time" in
+  let s = Obs.Metrics.counter ~unit_:"~steal" "tel/banned_sched" in
   let ok = Obs.Metrics.counter ~unit_:"pages" "tel/kept" in
   Obs.Metrics.add c 5;
   Obs.Metrics.set g 7;
   Obs.Metrics.add t 9;
+  Obs.Metrics.add s 10;
   Obs.Metrics.add ok 11;
   let det = Obs.Export.to_line (Obs.Export.registry_json ~deterministic:true ()) in
   checkb "rate counter scrubbed" false (contains det "tel/banned_rate");
   checkb "rate gauge scrubbed" false (contains det "tel/banned_gauge");
   checkb "time counter scrubbed" false (contains det "tel/banned_time");
+  checkb "timing-dependent (~) counter scrubbed" false
+    (contains det "tel/banned_sched");
   checkb "plain-unit metric kept" true (contains det "tel/kept");
   let full = Obs.Export.to_line (Obs.Export.registry_json ~deterministic:false ()) in
   checkb "non-deterministic artifact keeps rates" true
-    (contains full "tel/banned_rate")
+    (contains full "tel/banned_rate");
+  checkb "non-deterministic artifact keeps ~ counters" true
+    (contains full "tel/banned_sched")
 
 (* ---------------- OpenMetrics ---------------- *)
 
