@@ -46,7 +46,9 @@ let vector_policy ~first ~(positions : int list) ~(count : int ref) : Exec.polic
     done;
     !switch
   in
-  { Exec.first = first; decide }
+  (* counts *shared accesses*, not instructions, so plain-instruction
+     batching cannot skip a decision point *)
+  { Exec.first = first; decide; event_only = true; on_plain = ignore }
 
 let run (env : Exec.env) ~(writer : Fuzzer.Prog.t) ~(reader : Fuzzer.Prog.t)
     ?(preemption_bound = 2) ?(max_executions = 20_000) ?(stop_on_bug = false)

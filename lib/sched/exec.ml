@@ -27,6 +27,7 @@ module Vm = Vmm.Vm
 module Asm = Vmm.Asm
 module Trace = Vmm.Trace
 module Isa = Vmm.Isa
+module Tcode = Vmm.Tcode
 
 let src = Logs.Src.create "snowboard.sched" ~doc:"Test execution and scheduling"
 
@@ -61,10 +62,17 @@ let h_block_len =
 let g_steps_per_sec =
   Obs.Metrics.gauge ~unit_:"instr/s" "snowboard.sched/steps_per_sec"
 
+(* A deterministic bench rep can finish in under a clock tick, making
+   [seconds] zero (or, on a stepped clock, even negative); the quotient
+   would be [infinity] and [int_of_float infinity] is undefined.  Guard
+   both operands and cap the rate so the gauge always holds a finite,
+   representable value. *)
 let note_throughput ~steps ~seconds =
-  if seconds > 0. then
-    Obs.Metrics.set g_steps_per_sec
-      (int_of_float (float_of_int steps /. seconds))
+  if steps > 0 && seconds > 0. then begin
+    let rate = float_of_int steps /. seconds in
+    if Float.is_finite rate then
+      Obs.Metrics.set g_steps_per_sec (int_of_float (Float.min rate 1e18))
+  end
 
 (* Runtime helpers whose frames are skipped when attributing accesses. *)
 let helper_functions =
@@ -106,12 +114,24 @@ let attr_fid a pc =
   if pc >= 0 && pc < Array.length a.a_fid then a.a_fid.(pc)
   else Obs.Profguest.intern (Asm.unknown_name pc)
 
-type env = { kern : Kernel.t; vm : Vm.t; snap : Vm.snap; attr : attr }
+type env = {
+  kern : Kernel.t;
+  vm : Vm.t;
+  snap : Vm.snap;
+  attr : attr;
+  tcode : Tcode.t;  (* threaded-code form of the kernel image *)
+}
 
 let make_env cfg =
   let kern = Kernel.build cfg in
   let vm, snap = Kernel.boot kern in
-  { kern; vm; snap; attr = attr_of_image kern.Kernel.image }
+  {
+    kern;
+    vm;
+    snap;
+    attr = attr_of_image kern.Kernel.image;
+    tcode = Tcode.for_image kern.Kernel.image;
+  }
 
 (* Process-wide warm pools of booted environments, one per kernel
    configuration.  Every run restores [env.snap] before touching the
@@ -220,7 +240,9 @@ let with_setup env (setup : Fuzzer.Prog.t) =
          let finished = ref false in
          while not !finished do
            if !budget <= 0 then raise Exit;
-           let reason = Vm.run_block vm ~tid:0 ~quantum:!budget sink in
+           let reason =
+             Vm.run_tblock vm env.tcode ~tid:0 ~quantum:!budget sink
+           in
            budget := !budget - sink.Vm.sk_steps;
            match reason with
            | Vm.Rret_to_user ->
@@ -305,9 +327,52 @@ let run_seq env ~tid (prog : Fuzzer.Prog.t) =
   if !blocks > 0 then Obs.Metrics.observe h_block_len (!steps / !blocks);
   seq_epilogue env ~steps:!steps ~accesses:!accesses ~retvals
 
-(* Profiling fast path: block execution, but only *shared* accesses are
-   ever materialised as Trace.access records ([sq_accesses] holds the
-   shared subset, in order).  Profiling consumes nothing else - the
+(* [run_seq] over the pre-decoded threaded-code form ([Vm.run_tblock]):
+   same blocks, same sink contents, same full [seq_result] — one
+   dense-int dispatch per instruction instead of a boxed-constructor
+   fetch plus nested operand matches, with the peephole superops
+   retiring the common load+branch / bin+store / bin+branch pairs in
+   one dispatch.  [run_seq] stays on the boxed path as this leg's
+   equivalence baseline in the bench. *)
+let run_seq_threaded env ~tid (prog : Fuzzer.Prog.t) =
+  let retvals = seq_prologue env ~tid prog in
+  let accesses = ref [] in
+  let steps = ref 0 in
+  let blocks = ref 0 in
+  let sink = Vm.make_sink () in
+  (try
+     List.iteri
+       (fun i c ->
+         if Vm.panicked env.vm then raise Exit;
+         start_syscall env tid retvals i c;
+         let budget = ref syscall_budget in
+         let finished = ref false in
+         while not !finished do
+           if !budget <= 0 then raise Exit;
+           let reason =
+             Vm.run_tblock env.vm env.tcode ~tid ~quantum:!budget sink
+           in
+           budget := !budget - sink.Vm.sk_steps;
+           steps := !steps + sink.Vm.sk_steps;
+           incr blocks;
+           for k = 0 to sink.Vm.sk_n_acc - 1 do
+             accesses := Vm.sink_access sink ~thread:tid k :: !accesses
+           done;
+           match reason with
+           | Vm.Rret_to_user ->
+               retvals.(i) <- Vm.reg env.vm tid Isa.r0;
+               finished := true
+           | Vm.Rdead -> finished := true
+           | Vm.Rnone | Vm.Revent -> ()
+         done)
+       prog
+   with Exit -> ());
+  if !blocks > 0 then Obs.Metrics.observe h_block_len (!steps / !blocks);
+  seq_epilogue env ~steps:!steps ~accesses:!accesses ~retvals
+
+(* Profiling fast path: threaded-code block execution, but only *shared*
+   accesses are ever materialised as Trace.access records ([sq_accesses]
+   holds the shared subset, in order).  Profiling consumes nothing else - the
    stack-local majority of accesses (~2 in 3) used to be boxed, listed,
    reversed and then filtered straight back out by
    [Core.Profile.of_accesses] - so [sq_edges] is left empty rather than
@@ -334,7 +399,9 @@ let run_seq_shared env ~tid (prog : Fuzzer.Prog.t) =
          while not !finished do
            if !budget <= 0 then raise Exit;
            let bfid = if prof_on then attr_fid env.attr (Vm.cpu_pc env.vm tid) else -1 in
-           let reason = Vm.run_block env.vm ~tid ~quantum:!budget sink in
+           let reason =
+             Vm.run_tblock env.vm env.tcode ~tid ~quantum:!budget sink
+           in
            budget := !budget - sink.Vm.sk_steps;
            steps := !steps + sink.Vm.sk_steps;
            incr blocks;
@@ -447,6 +514,17 @@ let run_seq_step env ~tid (prog : Fuzzer.Prog.t) =
 type policy = {
   first : int;  (* thread scheduled first *)
   decide : int -> Vm.sink -> bool;  (* switch after this instruction? *)
+  event_only : bool;
+      (* [decide] inspects only sink-recorded events (accesses and
+         singleton fields, never [sk_steps]) and, on an event-free sink,
+         returns false with no side effects or draws.  Declaring this
+         lets [run_multi] batch runs of plain instructions through
+         [Vm.run_tblock_conc] between decision points; [on_plain] is
+         told how many consultations were skipped so recorders stay
+         byte-identical. *)
+  on_plain : int -> unit;
+      (* [on_plain k]: the executor retired [k] plain instructions for
+         which [decide] was provably "no switch" and was not called *)
 }
 
 type conc_result = {
@@ -481,12 +559,18 @@ let injected_timeout_horizon = 192
    runs at a time; on a switch request the executor rotates round-robin
    to the next runnable thread.
 
-   Stepping goes through [Vm.step_sink] - one instruction per call, so
-   [policy.decide] keeps its exact per-instruction cadence and every
-   recorded replay trace stays byte-identical to the legacy [Vm.step]
-   loop - but without the per-step event-list allocation, and a
-   Trace.access record is materialised only for *shared* accesses (the
-   ones result lists and observers actually consume). *)
+   Stepping is block-batched for policies that declare [event_only]:
+   runs of plain instructions execute in one [Vm.run_tblock_conc] burst
+   between decision points, the block stops at every event-producing
+   instruction so [decide] keeps its exact cadence at events, and
+   [policy.on_plain] is told how many provably-"no switch" consultations
+   were skipped (the recorder appends that many '0's, keeping replay
+   traces byte-identical).  Policies that step-count ([event_only =
+   false], e.g. PCT's change points, or a trace replayer) get the
+   per-instruction [Vm.step_sink] loop.  Either way there is no per-step
+   event-list allocation, and a Trace.access record is materialised only
+   for *shared* accesses (the ones result lists and observers actually
+   consume). *)
 let run_multi env ~(progs : Fuzzer.Prog.t array) ~(policy : policy)
     ?(observer = default_observer) ?watchdog ?(fault = Fault.No_fault)
     ?(prof = Obs.Profguest.null_collector) () =
@@ -628,12 +712,40 @@ let run_multi env ~(progs : Fuzzer.Prog.t array) ~(policy : policy)
            th.frames.stack <- []
        | Vm.Kernel | Vm.Dead -> ());
        if Vm.cpu_mode env.vm tid = Vm.Kernel then begin
+         let batch = policy.event_only in
          let pfid =
            if prof_on then attr_fid env.attr (Vm.cpu_pc env.vm tid) else -1
          in
          let psh = ref 0 in
-         incr steps;
-         ignore (Vm.step_sink env.vm ~tid sink);
+         let reason =
+           if batch then begin
+             (* Block-batched stepping: run plain instructions in one
+                [Vm.run_tblock_conc] burst, stopping at the first
+                event-producing instruction, so [decide] keeps its exact
+                per-instruction cadence at every event.  The quantum is
+                clamped so no abort threshold can be crossed mid-block:
+                the budget, watchdog and injected-fault checks at the
+                loop top fire at exactly the step counts the per-step
+                loop would have seen.  ([check_abort] already ran, so
+                every bound is strictly ahead and the quantum is >= 1.) *)
+             let q = conc_budget + 1 - !steps in
+             let q =
+               match watchdog with Some w -> min q (w - !steps) | None -> q
+             in
+             let q =
+               match fault with
+               | Fault.Crash at | Fault.Truncate at -> min q (at - !steps)
+               | _ -> q
+             in
+             let r = Vm.run_tblock_conc env.vm env.tcode ~tid ~quantum:q sink in
+             steps := !steps + sink.Vm.sk_steps;
+             r
+           end
+           else begin
+             incr steps;
+             Vm.step_sink env.vm ~tid sink
+           end
+         in
          (* accesses first: a Call's stack write is attributed with the
             frames *before* the push, a Ret's stack read before the pop -
             the order the legacy per-event loop processed them in *)
@@ -658,8 +770,13 @@ let run_multi env ~(progs : Fuzzer.Prog.t array) ~(policy : policy)
                     })
            end
          done;
+         (* a block never crosses a Call/Ret, so all retired
+            instructions belong to the function at the block-start pc
+            (the same argument as [run_seq_shared]); per-step mode has
+            [sk_steps] = 1 and this is the old per-instruction collect *)
          if prof_on then
-           Obs.Profguest.collect prof ~fid:pfid ~steps:1 ~shared:!psh;
+           Obs.Profguest.collect prof ~fid:pfid ~steps:sink.Vm.sk_steps
+             ~shared:!psh;
          if sink.Vm.sk_call >= 0 then
            th.frames.stack <- sink.Vm.sk_call :: th.frames.stack;
          if sink.Vm.sk_return then begin
@@ -677,6 +794,22 @@ let run_multi env ~(progs : Fuzzer.Prog.t array) ~(policy : policy)
          end;
          finish_check tid;
          if Vm.panicked env.vm then raise Exit;
+         (* Plain instructions batched past: their skipped [decide]
+            calls were all provably "no switch" ([event_only]), and each
+            per-step iteration would have reset the pause streak.  The
+            plain prefix precedes the block's event, so notify before
+            consulting [decide] on it. *)
+         let plain =
+           if batch then
+             sink.Vm.sk_steps
+             - (match reason with Vm.Rnone -> 0 | _ -> 1)
+           else 0
+         in
+         if plain > 0 then begin
+           policy.on_plain plain;
+           pause_streak := 0
+         end;
+         if (not batch) || reason <> Vm.Rnone then begin
          let want = policy.decide tid sink in
          if want then begin
            incr sched_points;
@@ -710,6 +843,7 @@ let run_multi env ~(progs : Fuzzer.Prog.t array) ~(policy : policy)
                      (Obs.Event.Switch { from_ = tid; to_ = t; reason = "policy" });
                  current := t
              | None -> ()
+         end
          end
        end
      done

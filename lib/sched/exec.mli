@@ -44,6 +44,10 @@ type env = {
   vm : Vmm.Vm.t;
   snap : Vmm.Vm.snap;
   attr : attr;  (** attribution cache for [kern]'s image *)
+  tcode : Vmm.Tcode.t;
+      (** threaded-code form of [kern]'s image, decoded once per image
+          via {!Vmm.Tcode.for_image} (cached on image identity alongside
+          [attr]) *)
 }
 
 val make_env : Kernel.Config.t -> env
@@ -101,6 +105,14 @@ val run_seq : env -> tid:int -> Fuzzer.Prog.t -> seq_result
     Observationally identical to {!run_seq_step} (same accesses, console,
     retvals, step counts and coverage edges). *)
 
+val run_seq_threaded : env -> tid:int -> Fuzzer.Prog.t -> seq_result
+(** {!run_seq} over the pre-decoded threaded-code form
+    ({!Vmm.Vm.run_tblock} on [env.tcode]): same blocks, same full
+    [seq_result] including coverage edges, one dense-int dispatch per
+    instruction with the common instruction pairs fused.  The production
+    sequential hot path; {!run_seq} stays on the boxed block path as its
+    equivalence baseline. *)
+
 val run_seq_shared : env -> tid:int -> Fuzzer.Prog.t -> seq_result
 (** {!run_seq}, but [sq_accesses] holds only the *shared* accesses
     (kernel-space, non-stack), filtered on the sink's raw fields before
@@ -136,6 +148,21 @@ type policy = {
       (** called after every instruction with the thread and the sink
           frame holding that instruction's events; [true] requests a
           switch to the next runnable thread *)
+  event_only : bool;
+      (** declares that [decide] inspects only sink-recorded events
+          (accesses and the singleton fields — never [sk_steps]) and, on
+          a sink holding no events, returns [false] without side effects
+          or random draws.  {!run_multi} then batches runs of plain
+          instructions through {!Vmm.Vm.run_tblock_conc} between
+          decision points; the skipped consultations are reported
+          through [on_plain].  Set [false] for policies that step-count
+          (PCT's change points) or replay a per-instruction trace. *)
+  on_plain : int -> unit;
+      (** [on_plain k]: the executor retired [k] plain instructions for
+          which [decide] was provably "no switch" and was not called.
+          Recorders append [k] '0's so traces recorded under batching
+          replay byte-identically on the per-step loop (and vice versa);
+          everyone else passes [ignore]. *)
 }
 
 type conc_result = {
@@ -172,10 +199,17 @@ val run_multi :
     next runnable thread.  A spinning thread (Pause) is forcibly
     descheduled (the is_live heuristic); a panic ends the trial.
 
-    Stepping goes through {!Vmm.Vm.step_sink} — one instruction per
-    call, so [policy.decide] keeps its per-instruction cadence and every
-    recorded replay trace is byte-identical to the legacy [Vm.step]
-    loop, without the per-step allocations.
+    For policies declaring [event_only], runs of plain instructions are
+    batched through {!Vmm.Vm.run_tblock_conc} between decision points:
+    the block stops at every event-producing instruction, so
+    [policy.decide] keeps its exact per-instruction cadence at events,
+    abort thresholds (budget, watchdog, injected faults) are clamped
+    into the block quantum so they fire at the per-step loop's exact
+    step counts, and [policy.on_plain] reports the skipped
+    provably-"no switch" consultations — schedules, replay traces and
+    flight-recorder streams are byte-identical to per-step stepping.
+    Other policies step one instruction per {!Vmm.Vm.step_sink} call.
+    Either way there are no per-step allocations.
 
     [watchdog] is a per-trial step budget: exceeding it raises
     {!Fault.Watchdog_timeout} (unlike [conc_budget], which merely flags

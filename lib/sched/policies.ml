@@ -53,6 +53,28 @@ let signature (a : Trace.access) = (a.Trace.pc, a.Trace.kind, a.Trace.addr)
 
 let snowboard rng (st : snowboard_state) : Exec.policy =
   let decide tid (s : Vm.sink) =
+    if st.current_pmcs = [] && Hashtbl.length st.flags = 0 then begin
+      (* No hint and nothing learned: neither the PMC nor the flag
+         branch can fire, so no coin is tossed and no flag is recorded.
+         The only observable effect of the full scan is that
+         [last_access] ends up holding the final shared access, so
+         record just that one and skip the per-access signature
+         allocation and flag lookup. *)
+      let last = ref (-1) in
+      for k = 0 to s.Vm.sk_n_acc - 1 do
+        if
+          Trace.is_shared_at ~addr:s.Vm.sk_acc_addr.(k)
+            ~sp:s.Vm.sk_acc_sp.(k)
+        then last := k
+      done;
+      (if !last >= 0 then
+         let k = !last in
+         let kind = if s.Vm.sk_acc_write.(k) then Trace.Write else Trace.Read in
+         st.last_access.(tid) <-
+           Some (s.Vm.sk_acc_pc.(k), kind, s.Vm.sk_acc_addr.(k)));
+      false
+    end
+    else begin
     let switch = ref false in
     for k = 0 to s.Vm.sk_n_acc - 1 do
       let addr = s.Vm.sk_acc_addr.(k) and sp = s.Vm.sk_acc_sp.(k) in
@@ -87,8 +109,16 @@ let snowboard rng (st : snowboard_state) : Exec.policy =
       end
     done;
     !switch
+    end
   in
-  { Exec.first = (if Random.State.bool rng then 1 else 0); decide }
+  {
+    Exec.first = (if Random.State.bool rng then 1 else 0);
+    decide;
+    (* access-driven: an event-free sink draws nothing and never
+       switches, so the executor may batch plain instructions *)
+    event_only = true;
+    on_plain = ignore;
+  }
 
 let ski rng (hint : Core.Pmc.t option) : Exec.policy =
   let ins =
@@ -104,7 +134,12 @@ let ski rng (hint : Core.Pmc.t option) : Exec.policy =
     done;
     !switch
   in
-  { Exec.first = (if Random.State.bool rng then 1 else 0); decide }
+  {
+    Exec.first = (if Random.State.bool rng then 1 else 0);
+    decide;
+    event_only = true;
+    on_plain = ignore;
+  }
 
 (* PCT (Burckhardt et al.), the algorithm SKI generalises: with two
    threads, the priority order is fully determined by who currently runs,
@@ -120,7 +155,14 @@ let pct rng ~depth ~est_len : Exec.policy =
     incr step;
     List.mem !step change_points
   in
-  { Exec.first = (if Random.State.bool rng then 1 else 0); decide }
+  {
+    Exec.first = (if Random.State.bool rng then 1 else 0);
+    decide;
+    (* step-counting: every instruction advances [step], so batching
+       would skip change points — keep per-instruction cadence *)
+    event_only = false;
+    on_plain = ignore;
+  }
 
 let naive rng ~period : Exec.policy =
   let decide _tid (s : Vm.sink) =
@@ -131,4 +173,9 @@ let naive rng ~period : Exec.policy =
     done;
     !switch
   in
-  { Exec.first = (if Random.State.bool rng then 1 else 0); decide }
+  {
+    Exec.first = (if Random.State.bool rng then 1 else 0);
+    decide;
+    event_only = true;
+    on_plain = ignore;
+  }

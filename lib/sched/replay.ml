@@ -12,7 +12,12 @@ type trace = { t_first : int; t_decisions : bool array }
 
 type recorder = { policy : Exec.policy; finish : unit -> trace }
 
-(* Wrap a policy, capturing its decisions. *)
+(* Wrap a policy, capturing its decisions.  Under a block-batching
+   executor ([inner.event_only]), plain instructions skip the [decide]
+   call; [on_plain] records the '0' each skipped consultation would have
+   produced, so a trace recorded under batching is byte-identical to one
+   recorded per-step — replaying either on either loop reproduces the
+   same schedule. *)
 let record (inner : Exec.policy) =
   let buf = Buffer.create 256 in
   let decide tid evs =
@@ -20,8 +25,20 @@ let record (inner : Exec.policy) =
     Buffer.add_char buf (if d then '1' else '0');
     d
   in
+  let on_plain k =
+    for _ = 1 to k do
+      Buffer.add_char buf '0'
+    done;
+    inner.Exec.on_plain k
+  in
   {
-    policy = { Exec.first = inner.Exec.first; decide };
+    policy =
+      {
+        Exec.first = inner.Exec.first;
+        decide;
+        event_only = inner.Exec.event_only;
+        on_plain;
+      };
     finish =
       (fun () ->
         let s = Buffer.contents buf in
@@ -33,7 +50,10 @@ let record (inner : Exec.policy) =
 
 (* Re-apply a captured trace.  Decisions beyond the trace length default
    to "no switch" (they can only be reached if the execution diverged,
-   which the deterministic guest rules out for an unchanged kernel). *)
+   which the deterministic guest rules out for an unchanged kernel).
+   The trace is indexed per instruction — including the '0's recorded
+   for batched plain instructions — so replay declares [event_only =
+   false] and consumes one decision per [step_sink] call. *)
 let replay (t : trace) : Exec.policy =
   let idx = ref 0 in
   let decide _tid _evs =
@@ -44,7 +64,7 @@ let replay (t : trace) : Exec.policy =
     end
     else false
   in
-  { Exec.first = t.t_first; decide }
+  { Exec.first = t.t_first; decide; event_only = false; on_plain = ignore }
 
 let length t = Array.length t.t_decisions
 

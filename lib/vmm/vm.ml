@@ -1149,4 +1149,725 @@ let run_block t ~tid ~quantum sink =
   done;
   !result
 
+(* ------------------------------------------------------------------ *)
+(* The threaded-code interpreter.                                      *)
+
+(* [run_block] still pays a boxed-constructor fetch and a nested match
+   (instruction, then operand Imm/Reg, then binop/cond) per instruction.
+   [run_tcode] executes the pre-decoded {!Tcode.t} form instead: one
+   dense-int dispatch per instruction with every variant folded into the
+   opcode, operands loaded from flat int arrays, and the peephole
+   superops retiring two instructions per dispatch.  Register indices
+   and access sizes were validated at decode time, so the register file
+   and operand arrays are read unchecked ([pc] itself is bounds-checked
+   against the code length each iteration, and all operand arrays share
+   that length).
+
+   This is a third transcription of the guest semantics, held to the
+   same contract as [exec_traced]: identical guest state transitions,
+   identical sink contents (including the pc/sp recording quirks of
+   [sink_acc]), identical step/access/event accounting, identical fault
+   handling.  The qcheck 4-way equivalence property (threaded vs
+   [run_block] vs [step_sink] vs legacy [step]) enforces it. *)
+
+(* Monomorphic on [int array]: a polymorphic wrapper would compile to
+   generic-array accesses (float-tag check per load, [caml_modify] per
+   store) even after inlining, which is exactly the cost this
+   interpreter exists to avoid. *)
+let[@inline] ug (a : int array) i = Array.unsafe_get a i
+let[@inline] us (a : int array) i (v : int) = Array.unsafe_set a i v
+
+(* Superop tails re-dispatch on their *raw* (pre-fusion) opcode; the
+   main jump table already paid for the pair, so a tiny dense match on
+   the component variant is all that's left. *)
+let[@inline] tc_bin_eval bcode a b =
+  match bcode with
+  | 2 | 11 -> a + b
+  | 3 | 12 -> a - b
+  | 4 | 13 -> a land b
+  | 5 | 14 -> a lor b
+  | 6 | 15 -> a lxor b
+  | 7 | 16 -> a lsl b
+  | 8 | 17 -> a lsr b
+  | 9 | 18 -> a * b
+  | _ -> if b = 0 then 0 else a / b
+
+let[@inline] tc_cond_eval bcode a b =
+  match bcode with
+  | 20 | 26 -> a = b
+  | 21 | 27 -> a <> b
+  | 22 | 28 -> a < b
+  | 23 | 29 -> a <= b
+  | 24 | 30 -> a > b
+  | _ -> a >= b
+
+(* Continue the block past an access-only instruction?  Mirrors
+   [run_block]'s condition: sequential blocks keep going while only
+   memory accesses accumulated and the sink has room for another
+   instruction's worth; concurrent blocks ([conc]) stop at every
+   event-producing instruction so the scheduler's decision cadence at
+   events is exactly the per-step loop's. *)
+let[@inline] tc_keep_going conc sink =
+  (not conc)
+  && sink.sk_call < 0
+  && (not sink.sk_return)
+  && (not sink.sk_pause)
+  && (not sink.sk_has_console)
+  && sink.sk_lock < 0
+  && sink.sk_rcu = `No
+  && sink.sk_n_acc + max_sink_accesses <= sink_capacity
+
+(* One plain (li/mov/bin) instruction, decoded from [raw] — the body of
+   the generic plain-pair superop's halves.  A single dense match so
+   each half costs one jump-table dispatch with the operation inline,
+   the same as the unfused arms. *)
+let[@inline] tc_plain regs f0 f1 f2 raw pc =
+  match ug raw pc with
+  | 0 -> us regs (ug f0 pc) (ug f1 pc)
+  | 1 -> us regs (ug f0 pc) (ug regs (ug f1 pc))
+  | 2 -> us regs (ug f0 pc) (ug regs (ug f1 pc) + ug f2 pc)
+  | 3 -> us regs (ug f0 pc) (ug regs (ug f1 pc) - ug f2 pc)
+  | 4 -> us regs (ug f0 pc) (ug regs (ug f1 pc) land ug f2 pc)
+  | 5 -> us regs (ug f0 pc) (ug regs (ug f1 pc) lor ug f2 pc)
+  | 6 -> us regs (ug f0 pc) (ug regs (ug f1 pc) lxor ug f2 pc)
+  | 7 -> us regs (ug f0 pc) (ug regs (ug f1 pc) lsl ug f2 pc)
+  | 8 -> us regs (ug f0 pc) (ug regs (ug f1 pc) lsr ug f2 pc)
+  | 9 -> us regs (ug f0 pc) (ug regs (ug f1 pc) * ug f2 pc)
+  | 10 ->
+      let b = ug f2 pc in
+      us regs (ug f0 pc) (if b = 0 then 0 else ug regs (ug f1 pc) / b)
+  | 11 -> us regs (ug f0 pc) (ug regs (ug f1 pc) + ug regs (ug f2 pc))
+  | 12 -> us regs (ug f0 pc) (ug regs (ug f1 pc) - ug regs (ug f2 pc))
+  | 13 -> us regs (ug f0 pc) (ug regs (ug f1 pc) land ug regs (ug f2 pc))
+  | 14 -> us regs (ug f0 pc) (ug regs (ug f1 pc) lor ug regs (ug f2 pc))
+  | 15 -> us regs (ug f0 pc) (ug regs (ug f1 pc) lxor ug regs (ug f2 pc))
+  | 16 -> us regs (ug f0 pc) (ug regs (ug f1 pc) lsl ug regs (ug f2 pc))
+  | 17 -> us regs (ug f0 pc) (ug regs (ug f1 pc) lsr ug regs (ug f2 pc))
+  | 18 -> us regs (ug f0 pc) (ug regs (ug f1 pc) * ug regs (ug f2 pc))
+  | _ ->
+      let b = ug regs (ug f2 pc) in
+      us regs (ug f0 pc) (if b = 0 then 0 else ug regs (ug f1 pc) / b)
+
+let run_tcode t (tc : Tcode.t) ~tid ~quantum ~conc sink =
+  if not (tc.Tcode.image == t.image) then
+    invalid_arg
+      "vm: stale threaded code: decoded from a different image (rebuild \
+       via Tcode.for_image)";
+  sink_clear sink;
+  let c = t.cpus.(tid) in
+  if c.mode <> Kernel then invalid_arg "vm: stepping a non-kernel thread";
+  let ops = tc.Tcode.ops
+  and raw = tc.Tcode.raw
+  and f0 = tc.Tcode.f0
+  and f1 = tc.Tcode.f1
+  and f2 = tc.Tcode.f2
+  and f3 = tc.Tcode.f3
+  and f4 = tc.Tcode.f4 in
+  let regs = c.regs in
+  let len = Array.length ops - 1 (* guest code length; ops.(len) = oob *) in
+  (* All of the loop state lives in non-escaping refs, which compile to
+     stack slots — the call allocates nothing.  [c.pc] is synced only
+     at event arms — which need it for [sink_acc]'s pc-recording
+     semantics and for the fault handler — and at exits.  [fault_rem]
+     snapshots [rem] right before any operation that can raise [Fault],
+     so the handler can reconstruct the retired count including the
+     faulting instruction, exactly as [exec_traced] counts it at
+     entry.  In-range pcs need no per-dispatch bounds check: the entry
+     pc is validated up front, branch/jmp/call targets are
+     label-resolved inside the image, indirect-call targets are checked
+     in their arm, and falling through the end lands on the [op_oob]
+     sentinel slot. *)
+  let pc = ref c.pc in
+  let rem = ref quantum in
+  let result = ref Rnone in
+  let fault_rem = ref quantum in
+  let stop = ref false in
+  if quantum > 0 && (!pc < 0 || !pc >= len) then
+    invalid_arg (Printf.sprintf "vm: pc out of range: %d" !pc);
+  (try
+     while !rem > 0 && not !stop do
+       let p = !pc in
+       (match ug ops p with
+       (* li / mov *)
+       | 0 ->
+           us regs (ug f0 p) (ug f1 p);
+           pc := p + 1;
+           rem := !rem - 1
+       | 1 ->
+           us regs (ug f0 p) (ug regs (ug f1 p));
+           pc := p + 1;
+           rem := !rem - 1
+       (* bin reg,imm: Add Sub And Or Xor Shl Shr Mul Div *)
+       | 2 ->
+           us regs (ug f0 p) (ug regs (ug f1 p) + ug f2 p);
+           pc := p + 1;
+           rem := !rem - 1
+       | 3 ->
+           us regs (ug f0 p) (ug regs (ug f1 p) - ug f2 p);
+           pc := p + 1;
+           rem := !rem - 1
+       | 4 ->
+           us regs (ug f0 p) (ug regs (ug f1 p) land ug f2 p);
+           pc := p + 1;
+           rem := !rem - 1
+       | 5 ->
+           us regs (ug f0 p) (ug regs (ug f1 p) lor ug f2 p);
+           pc := p + 1;
+           rem := !rem - 1
+       | 6 ->
+           us regs (ug f0 p) (ug regs (ug f1 p) lxor ug f2 p);
+           pc := p + 1;
+           rem := !rem - 1
+       | 7 ->
+           us regs (ug f0 p) (ug regs (ug f1 p) lsl ug f2 p);
+           pc := p + 1;
+           rem := !rem - 1
+       | 8 ->
+           us regs (ug f0 p) (ug regs (ug f1 p) lsr ug f2 p);
+           pc := p + 1;
+           rem := !rem - 1
+       | 9 ->
+           us regs (ug f0 p) (ug regs (ug f1 p) * ug f2 p);
+           pc := p + 1;
+           rem := !rem - 1
+       | 10 ->
+           let b = ug f2 p in
+           us regs (ug f0 p) (if b = 0 then 0 else ug regs (ug f1 p) / b);
+           pc := p + 1;
+           rem := !rem - 1
+       (* bin reg,reg *)
+       | 11 ->
+           us regs (ug f0 p) (ug regs (ug f1 p) + ug regs (ug f2 p));
+           pc := p + 1;
+           rem := !rem - 1
+       | 12 ->
+           us regs (ug f0 p) (ug regs (ug f1 p) - ug regs (ug f2 p));
+           pc := p + 1;
+           rem := !rem - 1
+       | 13 ->
+           us regs (ug f0 p) (ug regs (ug f1 p) land ug regs (ug f2 p));
+           pc := p + 1;
+           rem := !rem - 1
+       | 14 ->
+           us regs (ug f0 p) (ug regs (ug f1 p) lor ug regs (ug f2 p));
+           pc := p + 1;
+           rem := !rem - 1
+       | 15 ->
+           us regs (ug f0 p) (ug regs (ug f1 p) lxor ug regs (ug f2 p));
+           pc := p + 1;
+           rem := !rem - 1
+       | 16 ->
+           us regs (ug f0 p) (ug regs (ug f1 p) lsl ug regs (ug f2 p));
+           pc := p + 1;
+           rem := !rem - 1
+       | 17 ->
+           us regs (ug f0 p) (ug regs (ug f1 p) lsr ug regs (ug f2 p));
+           pc := p + 1;
+           rem := !rem - 1
+       | 18 ->
+           us regs (ug f0 p) (ug regs (ug f1 p) * ug regs (ug f2 p));
+           pc := p + 1;
+           rem := !rem - 1
+       | 19 ->
+           let b = ug regs (ug f2 p) in
+           us regs (ug f0 p) (if b = 0 then 0 else ug regs (ug f1 p) / b);
+           pc := p + 1;
+           rem := !rem - 1
+       (* br reg,imm: Eq Ne Lt Le Gt Ge *)
+       | 20 ->
+           let dest = if ug regs (ug f0 p) = ug f1 p then ug f2 p else p + 1 in
+           record_edge_fast t p dest;
+           pc := dest;
+           rem := !rem - 1
+       | 21 ->
+           let dest =
+             if ug regs (ug f0 p) <> ug f1 p then ug f2 p else p + 1
+           in
+           record_edge_fast t p dest;
+           pc := dest;
+           rem := !rem - 1
+       | 22 ->
+           let dest = if ug regs (ug f0 p) < ug f1 p then ug f2 p else p + 1 in
+           record_edge_fast t p dest;
+           pc := dest;
+           rem := !rem - 1
+       | 23 ->
+           let dest =
+             if ug regs (ug f0 p) <= ug f1 p then ug f2 p else p + 1
+           in
+           record_edge_fast t p dest;
+           pc := dest;
+           rem := !rem - 1
+       | 24 ->
+           let dest = if ug regs (ug f0 p) > ug f1 p then ug f2 p else p + 1 in
+           record_edge_fast t p dest;
+           pc := dest;
+           rem := !rem - 1
+       | 25 ->
+           let dest =
+             if ug regs (ug f0 p) >= ug f1 p then ug f2 p else p + 1
+           in
+           record_edge_fast t p dest;
+           pc := dest;
+           rem := !rem - 1
+       (* br reg,reg *)
+       | 26 ->
+           let dest =
+             if ug regs (ug f0 p) = ug regs (ug f1 p) then ug f2 p else p + 1
+           in
+           record_edge_fast t p dest;
+           pc := dest;
+           rem := !rem - 1
+       | 27 ->
+           let dest =
+             if ug regs (ug f0 p) <> ug regs (ug f1 p) then ug f2 p else p + 1
+           in
+           record_edge_fast t p dest;
+           pc := dest;
+           rem := !rem - 1
+       | 28 ->
+           let dest =
+             if ug regs (ug f0 p) < ug regs (ug f1 p) then ug f2 p else p + 1
+           in
+           record_edge_fast t p dest;
+           pc := dest;
+           rem := !rem - 1
+       | 29 ->
+           let dest =
+             if ug regs (ug f0 p) <= ug regs (ug f1 p) then ug f2 p else p + 1
+           in
+           record_edge_fast t p dest;
+           pc := dest;
+           rem := !rem - 1
+       | 30 ->
+           let dest =
+             if ug regs (ug f0 p) > ug regs (ug f1 p) then ug f2 p else p + 1
+           in
+           record_edge_fast t p dest;
+           pc := dest;
+           rem := !rem - 1
+       | 31 ->
+           let dest =
+             if ug regs (ug f0 p) >= ug regs (ug f1 p) then ug f2 p else p + 1
+           in
+           record_edge_fast t p dest;
+           pc := dest;
+           rem := !rem - 1
+       (* jmp *)
+       | 32 ->
+           let target = ug f0 p in
+           record_edge_fast t p target;
+           pc := target;
+           rem := !rem - 1
+       (* load *)
+       | 33 ->
+           c.pc <- p;
+           fault_rem := !rem;
+           let addr = ug regs (ug f1 p) + ug f2 p in
+           let size = ug f3 p in
+           let v = mem_read t tid addr size in
+           sink_acc t c sink ~addr ~size ~write:false ~value:v
+             ~atomic:(ug f4 p = 1);
+           us regs (ug f0 p) v;
+           c.pc <- p + 1;
+           result := Revent;
+           pc := p + 1;
+           rem := !rem - 1;
+           if not (tc_keep_going conc sink) then stop := true
+       (* store imm / store reg (imm pre-masked at decode) *)
+       | 34 ->
+           c.pc <- p;
+           fault_rem := !rem;
+           let addr = ug regs (ug f0 p) + ug f1 p in
+           let size = ug f3 p in
+           let v = ug f2 p in
+           mem_write t tid addr size v;
+           sink_acc t c sink ~addr ~size ~write:true ~value:v
+             ~atomic:(ug f4 p = 1);
+           c.pc <- p + 1;
+           result := Revent;
+           pc := p + 1;
+           rem := !rem - 1;
+           if not (tc_keep_going conc sink) then stop := true
+       | 35 ->
+           c.pc <- p;
+           fault_rem := !rem;
+           let addr = ug regs (ug f0 p) + ug f1 p in
+           let size = ug f3 p in
+           let v = ug regs (ug f2 p) land size_mask size in
+           mem_write t tid addr size v;
+           sink_acc t c sink ~addr ~size ~write:true ~value:v
+             ~atomic:(ug f4 p = 1);
+           c.pc <- p + 1;
+           result := Revent;
+           pc := p + 1;
+           rem := !rem - 1;
+           if not (tc_keep_going conc sink) then stop := true
+       (* cas: expected/desired each imm or reg per variant *)
+       | (36 | 37 | 38 | 39) as oc ->
+           c.pc <- p;
+           fault_rem := !rem;
+           let addr = ug regs (ug f1 p) + ug f2 p in
+           let old = mem_read t tid addr 8 in
+           sink_acc t c sink ~addr ~size:8 ~write:false ~value:old
+             ~atomic:true;
+           let expected = if oc >= 38 then ug regs (ug f3 p) else ug f3 p in
+           (if old = expected then begin
+              let v = if oc = 37 || oc = 39 then ug regs (ug f4 p) else ug f4 p in
+              mem_write t tid addr 8 v;
+              us regs (ug f0 p) 1;
+              c.pc <- p + 1;
+              (* write access records the already-advanced pc, as the
+                 legacy list does *)
+              sink_acc t c sink ~addr ~size:8 ~write:true ~value:v
+                ~atomic:true
+            end
+            else begin
+              us regs (ug f0 p) 0;
+              c.pc <- p + 1
+            end);
+           result := Revent;
+           pc := p + 1;
+           rem := !rem - 1;
+           if not (tc_keep_going conc sink) then stop := true
+       (* faa imm / faa reg *)
+       | (40 | 41) as oc ->
+           c.pc <- p;
+           fault_rem := !rem;
+           let addr = ug regs (ug f1 p) + ug f2 p in
+           let old = mem_read t tid addr 8 in
+           let v = old + (if oc = 41 then ug regs (ug f3 p) else ug f3 p) in
+           mem_write t tid addr 8 v;
+           us regs (ug f0 p) old;
+           c.pc <- p + 1;
+           sink_acc t c sink ~addr ~size:8 ~write:false ~value:old
+             ~atomic:true;
+           sink_acc t c sink ~addr ~size:8 ~write:true ~value:v ~atomic:true;
+           result := Revent;
+           pc := p + 1;
+           rem := !rem - 1;
+           if not (tc_keep_going conc sink) then stop := true
+       (* call *)
+       | 42 ->
+           c.pc <- p;
+           fault_rem := !rem;
+           let target = ug f0 p in
+           let nsp = regs.(Isa.sp) - 8 in
+           mem_write t tid nsp 8 (p + 1);
+           regs.(Isa.sp) <- nsp;
+           sink_acc t c sink ~addr:nsp ~size:8 ~write:true ~value:(p + 1)
+             ~atomic:false;
+           record_edge_fast t p target;
+           c.pc <- target;
+           sink.sk_call <- target;
+           t.events_sunk <- t.events_sunk + 1;
+           result := Revent;
+           pc := target;
+           rem := !rem - 1;
+           stop := true
+       (* callind *)
+       | 43 ->
+           c.pc <- p;
+           fault_rem := !rem;
+           let target = ug regs (ug f0 p) in
+           if target < 0 || target >= len then raise (Fault target);
+           let nsp = regs.(Isa.sp) - 8 in
+           mem_write t tid nsp 8 (p + 1);
+           regs.(Isa.sp) <- nsp;
+           sink_acc t c sink ~addr:nsp ~size:8 ~write:true ~value:(p + 1)
+             ~atomic:false;
+           record_edge_fast t p target;
+           c.pc <- target;
+           sink.sk_call <- target;
+           t.events_sunk <- t.events_sunk + 1;
+           result := Revent;
+           pc := target;
+           rem := !rem - 1;
+           stop := true
+       (* ret *)
+       | 44 ->
+           c.pc <- p;
+           fault_rem := !rem;
+           let spv = regs.(Isa.sp) in
+           let target = mem_read t tid spv 8 in
+           sink_acc t c sink ~addr:spv ~size:8 ~write:false ~value:target
+             ~atomic:false;
+           regs.(Isa.sp) <- spv + 8;
+           t.events_sunk <- t.events_sunk + 1;
+           (if target = ret_sentinel then begin
+              c.mode <- User;
+              sink.sk_ret_to_user <- true;
+              result := Rret_to_user
+            end
+            else begin
+              record_edge_fast t p target;
+              c.pc <- target;
+              pc := target;
+              sink.sk_return <- true;
+              result := Revent
+            end);
+           rem := !rem - 1;
+           stop := true
+       (* push *)
+       | 45 ->
+           c.pc <- p;
+           fault_rem := !rem;
+           let nsp = regs.(Isa.sp) - 8 in
+           let v = ug regs (ug f0 p) in
+           mem_write t tid nsp 8 v;
+           regs.(Isa.sp) <- nsp;
+           c.pc <- p + 1;
+           (* records the advanced pc and the new sp, like [sink_acc]
+              called after the updates in [exec_traced] *)
+           sink_acc t c sink ~addr:nsp ~size:8 ~write:true ~value:v
+             ~atomic:false;
+           result := Revent;
+           pc := p + 1;
+           rem := !rem - 1;
+           if not (tc_keep_going conc sink) then stop := true
+       (* pop *)
+       | 46 ->
+           c.pc <- p;
+           fault_rem := !rem;
+           let spv = regs.(Isa.sp) in
+           let v = mem_read t tid spv 8 in
+           us regs (ug f0 p) v;
+           regs.(Isa.sp) <- spv + 8;
+           c.pc <- p + 1;
+           sink_acc t c sink ~addr:spv ~size:8 ~write:false ~value:v
+             ~atomic:false;
+           result := Revent;
+           pc := p + 1;
+           rem := !rem - 1;
+           if not (tc_keep_going conc sink) then stop := true
+       (* pause *)
+       | 47 ->
+           c.pc <- p + 1;
+           sink.sk_pause <- true;
+           t.events_sunk <- t.events_sunk + 1;
+           result := Revent;
+           pc := p + 1;
+           rem := !rem - 1;
+           stop := true
+       (* halt *)
+       | 48 ->
+           c.pc <- p;
+           c.mode <- Dead;
+           sink.sk_halt <- true;
+           t.events_sunk <- t.events_sunk + 1;
+           result := Rdead;
+           rem := !rem - 1;
+           stop := true
+       (* hconsole *)
+       | 49 ->
+           c.pc <- p + 1;
+           let args = [| regs.(0); regs.(1); regs.(2) |] in
+           let line = format_msg t.image.Asm.msgs.(ug f0 p) args in
+           add_console t line;
+           sink.sk_has_console <- true;
+           sink.sk_console <- line;
+           t.events_sunk <- t.events_sunk + 1;
+           result := Revent;
+           pc := p + 1;
+           rem := !rem - 1;
+           stop := true
+       (* hpanic *)
+       | 50 ->
+           c.pc <- p + 1;
+           let args = [| regs.(0); regs.(1); regs.(2) |] in
+           let line = format_msg t.image.Asm.msgs.(ug f0 p) args in
+           add_console t line;
+           t.panicked <- true;
+           c.mode <- Dead;
+           Log.debug (fun m -> m "vCPU %d panic at pc %d: %s" tid p line);
+           sink.sk_has_console <- true;
+           sink.sk_console <- line;
+           sink.sk_panic <- true;
+           t.events_sunk <- t.events_sunk + 2;
+           result := Rdead;
+           pc := p + 1;
+           rem := !rem - 1;
+           stop := true
+       (* hlock_acq / hlock_rel *)
+       | 51 ->
+           c.pc <- p + 1;
+           sink.sk_lock <- regs.(0);
+           sink.sk_lock_acq <- true;
+           t.events_sunk <- t.events_sunk + 1;
+           result := Revent;
+           pc := p + 1;
+           rem := !rem - 1;
+           stop := true
+       | 52 ->
+           c.pc <- p + 1;
+           sink.sk_lock <- regs.(0);
+           sink.sk_lock_acq <- false;
+           t.events_sunk <- t.events_sunk + 1;
+           result := Revent;
+           pc := p + 1;
+           rem := !rem - 1;
+           stop := true
+       (* hrcu_lock / hrcu_unlock *)
+       | 53 ->
+           c.pc <- p + 1;
+           sink.sk_rcu <- `Lock;
+           t.events_sunk <- t.events_sunk + 1;
+           result := Revent;
+           pc := p + 1;
+           rem := !rem - 1;
+           stop := true
+       | 54 ->
+           c.pc <- p + 1;
+           sink.sk_rcu <- `Unlock;
+           t.events_sunk <- t.events_sunk + 1;
+           result := Revent;
+           pc := p + 1;
+           rem := !rem - 1;
+           stop := true
+       (* superop load+br *)
+       | 55 ->
+           c.pc <- p;
+           fault_rem := !rem;
+           let addr = ug regs (ug f1 p) + ug f2 p in
+           let size = ug f3 p in
+           let v = mem_read t tid addr size in
+           sink_acc t c sink ~addr ~size ~write:false ~value:v
+             ~atomic:(ug f4 p = 1);
+           us regs (ug f0 p) v;
+           c.pc <- p + 1;
+           result := Revent;
+           if not (tc_keep_going conc sink) then begin
+             pc := p + 1;
+             rem := !rem - 1;
+             stop := true
+           end
+           else if !rem > 1 then begin
+             let bpc = p + 1 in
+             let bcode = ug raw bpc in
+             let a = ug regs (ug f0 bpc) in
+             let b = if bcode >= 26 then ug regs (ug f1 bpc) else ug f1 bpc in
+             let dest = if tc_cond_eval bcode a b then ug f2 bpc else bpc + 1 in
+             record_edge_fast t bpc dest;
+             pc := dest;
+             rem := !rem - 2
+           end
+           else begin
+             pc := p + 1;
+             rem := !rem - 1
+           end
+       (* superop bin+store *)
+       | 56 ->
+           let bcode = ug raw p in
+           let a = ug regs (ug f1 p) in
+           let b = if bcode >= 11 then ug regs (ug f2 p) else ug f2 p in
+           us regs (ug f0 p) (tc_bin_eval bcode a b);
+           if !rem > 1 then begin
+             let spc = p + 1 in
+             (* [c.pc] is the store's pc here, so the access records it *)
+             c.pc <- spc;
+             fault_rem := !rem - 1;
+             let scode = ug raw spc in
+             let size = ug f3 spc in
+             let addr = ug regs (ug f0 spc) + ug f1 spc in
+             let v =
+               if scode = 34 then ug f2 spc
+               else ug regs (ug f2 spc) land size_mask size
+             in
+             mem_write t tid addr size v;
+             sink_acc t c sink ~addr ~size ~write:true ~value:v
+               ~atomic:(ug f4 spc = 1);
+             c.pc <- spc + 1;
+             result := Revent;
+             pc := spc + 1;
+             rem := !rem - 2;
+             if not (tc_keep_going conc sink) then stop := true
+           end
+           else begin
+             pc := p + 1;
+             rem := !rem - 1
+           end
+       (* superop bin+br *)
+       | 57 ->
+           let bcode = ug raw p in
+           let a = ug regs (ug f1 p) in
+           let b = if bcode >= 11 then ug regs (ug f2 p) else ug f2 p in
+           us regs (ug f0 p) (tc_bin_eval bcode a b);
+           if !rem > 1 then begin
+             let bpc = p + 1 in
+             let bbcode = ug raw bpc in
+             let ba = ug regs (ug f0 bpc) in
+             let bb = if bbcode >= 26 then ug regs (ug f1 bpc) else ug f1 bpc in
+             let dest =
+               if tc_cond_eval bbcode ba bb then ug f2 bpc else bpc + 1
+             in
+             record_edge_fast t bpc dest;
+             pc := dest;
+             rem := !rem - 2
+           end
+           else begin
+             pc := p + 1;
+             rem := !rem - 1
+           end
+       (* superop plain run: [f3] consecutive li/mov/bin instructions,
+          executed in one counted loop — no events, no faults, no
+          edges, so the only bookkeeping is the retired count *)
+       | 58 ->
+           let l0 = ug f3 p in
+           let l = if l0 <= !rem then l0 else !rem in
+           for i = p to p + l - 1 do
+             tc_plain regs f0 f1 f2 raw i
+           done;
+           pc := p + l;
+           rem := !rem - l
+       (* oob sentinel: fell through past the last instruction *)
+       | 59 ->
+           c.pc <- p;
+           t.steps <- t.steps + (quantum - !rem);
+           sink.sk_steps <- sink.sk_steps + (quantum - !rem);
+           invalid_arg (Printf.sprintf "vm: pc out of range: %d" p)
+       | _ -> assert false)
+     done;
+     if not !stop then c.pc <- !pc;
+     let retired = quantum - !rem in
+     t.steps <- t.steps + retired;
+     sink.sk_steps <- sink.sk_steps + retired
+   with Fault addr ->
+     (* Every fault point above fires before the faulting instruction
+        updates [c.pc] (memory is touched first, as in [exec_traced]),
+        so [c.pc] is the faulting instruction's own pc — including the
+        store half of a superop, whose arm set [c.pc] to it. *)
+     let retired = quantum - !fault_rem + 1 in
+     t.steps <- t.steps + retired;
+     sink.sk_steps <- sink.sk_steps + retired;
+     let fpc = c.pc in
+     let fn = Asm.func_name t.image fpc in
+     let line =
+       if addr >= 0 && addr < Layout.null_guard_end then
+         Printf.sprintf
+           "BUG: kernel NULL pointer dereference, address: 0x%04x, ip: %s"
+           addr fn
+       else
+         Printf.sprintf
+           "BUG: unable to handle page fault for address: 0x%x, ip: %s" addr
+           fn
+     in
+     add_console t line;
+     t.panicked <- true;
+     c.mode <- Dead;
+     Log.debug (fun m -> m "vCPU %d fault at pc %d (%s): %s" tid fpc fn line);
+     sink.sk_has_fault <- true;
+     sink.sk_fault_addr <- addr;
+     sink.sk_has_console <- true;
+     sink.sk_console <- line;
+     sink.sk_panic <- true;
+     t.events_sunk <- t.events_sunk + 3;
+     result := Rdead);
+  !result
+
+let run_tblock t tc ~tid ~quantum sink =
+  run_tcode t tc ~tid ~quantum ~conc:false sink
+
+let run_tblock_conc t tc ~tid ~quantum sink =
+  run_tcode t tc ~tid ~quantum ~conc:true sink
+
 let events_sunk t = t.events_sunk

@@ -182,6 +182,27 @@ val run_block : t -> tid:int -> quantum:int -> sink -> stop_reason
     budgets.  Returns [Rnone] when the quantum expired on plain
     instructions only. *)
 
+val run_tblock : t -> Tcode.t -> tid:int -> quantum:int -> sink -> stop_reason
+(** {!run_block} over the pre-decoded threaded-code form: one dense-int
+    dispatch per instruction (operand variants folded into the opcode,
+    operands in flat arrays) and the peephole superops retiring the
+    common load+branch / bin+store / bin+branch pairs in one dispatch.
+    Observationally identical to {!run_block} — same guest state
+    transitions, sink contents, step/access/event accounting, coverage
+    edges and fault handling; the qcheck 4-way equivalence property
+    enforces it.  Raises [Invalid_argument] if [tc] was decoded from a
+    different image than this VM runs (threaded code is keyed on image
+    identity; rebuild via {!Tcode.for_image}). *)
+
+val run_tblock_conc :
+  t -> Tcode.t -> tid:int -> quantum:int -> sink -> stop_reason
+(** {!run_tblock} for the concurrent executor: the block additionally
+    stops at {e every} event-producing instruction (including loads and
+    stores) instead of batching accesses, so a scheduler draining the
+    sink after each call observes exactly the per-[step_sink] event
+    cadence — only runs of plain instructions are batched between
+    decision points. *)
+
 val peek : t -> int -> int -> int -> int
 (** [peek t tid addr size] reads guest memory without tracing (host use). *)
 

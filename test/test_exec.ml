@@ -9,6 +9,8 @@ module Isa = Vmm.Isa
 module Trace = Vmm.Trace
 module P = Fuzzer.Prog
 module Exec = Sched.Exec
+module Policies = Sched.Policies
+module Replay = Sched.Replay
 
 let checkb = Alcotest.(check bool)
 let checki = Alcotest.(check int)
@@ -22,8 +24,8 @@ let env = lazy (Exec.make_env Kernel.Config.v5_12_rc3)
    guest-visible state).  Random programs reach faults, console output,
    locks and budget aborts. *)
 let prop_sink_block_equivalent =
-  QCheck.Test.make ~name:"sink and block paths match the Vm.step oracle"
-    ~count:60
+  QCheck.Test.make
+    ~name:"sink, block and threaded paths match the Vm.step oracle" ~count:60
     QCheck.(int_range 0 1_000_000)
     (fun seed ->
       let env = Lazy.force env in
@@ -34,8 +36,10 @@ let prop_sink_block_equivalent =
       let fp_sink = Vm.fingerprint env.Exec.vm in
       let r_block = Exec.run_seq env ~tid:0 prog in
       let fp_block = Vm.fingerprint env.Exec.vm in
-      r_step = r_sink && r_step = r_block && fp_step = fp_sink
-      && fp_step = fp_block)
+      let r_threaded = Exec.run_seq_threaded env ~tid:0 prog in
+      let fp_threaded = Vm.fingerprint env.Exec.vm in
+      r_step = r_sink && r_step = r_block && r_step = r_threaded
+      && fp_step = fp_sink && fp_step = fp_block && fp_step = fp_threaded)
 
 (* The shared-only runner must equal the oracle with its access list
    filtered (and no edges); the fast profile builder must equal the
@@ -235,6 +239,185 @@ let test_events_sunk_counter () =
   checkb "sink executions count sunk events" true
     (Vm.events_sunk env.Exec.vm > before)
 
+(* ---------------- threaded code: decode, cache, quantum ------------- *)
+
+let test_threaded_decode () =
+  let env = Lazy.force env in
+  let tc = env.Exec.tcode in
+  checkb "threaded code covers the image" true (Vmm.Tcode.length tc > 0);
+  checkb "the kernel image has fusable pairs" true
+    (Vmm.Tcode.fused_pairs tc > 0);
+  checkb "cache is identity-keyed" true
+    (Vmm.Tcode.for_image env.Exec.kern.Kernel.image == tc)
+
+let test_stale_tcode_rejected () =
+  (* two builds of the same config are distinct images; applying one
+     image's threaded code to the other must fail loudly, not execute
+     the wrong program *)
+  let e1 = Exec.make_env Kernel.Config.v5_12_rc3 in
+  let e2 = Exec.make_env Kernel.Config.v5_12_rc3 in
+  checkb "fresh builds are distinct images" false
+    (Vmm.Tcode.same_image e1.Exec.tcode e2.Exec.kern.Kernel.image);
+  let sink = Vm.make_sink () in
+  Vm.restore e2.Exec.vm e2.Exec.snap;
+  Alcotest.check_raises "stale threaded code rejected"
+    (Invalid_argument
+       "vm: stale threaded code: decoded from a different image (rebuild \
+        via Tcode.for_image)") (fun () ->
+      ignore (Vm.run_tblock e2.Exec.vm e1.Exec.tcode ~tid:0 ~quantum:8 sink))
+
+(* [run_tblock] respects the quantum exactly, like [run_block]: quantum 1
+   is per-instruction stepping (fused pairs retire one half per step),
+   and the instruction count is identical either way. *)
+let test_threaded_quantum () =
+  let env = Lazy.force env in
+  let start () =
+    Vm.restore env.Exec.vm env.Exec.snap;
+    Vm.start_call env.Exec.vm 0 env.Exec.kern.Kernel.syscall_entry [ 1; 0 ];
+    Vm.set_reg env.Exec.vm 0 Isa.r12 Kernel.Abi.sys_open
+  in
+  let sink = Vm.make_sink () in
+  start ();
+  let steps = ref 0 in
+  while Vm.cpu_mode env.Exec.vm 0 = Vm.Kernel && !steps < 100_000 do
+    ignore (Vm.run_tblock env.Exec.vm env.Exec.tcode ~tid:0 ~quantum:1 sink);
+    checki "quantum 1 retires exactly one instruction" 1 sink.Vm.sk_steps;
+    incr steps
+  done;
+  start ();
+  let total = ref 0 in
+  while Vm.cpu_mode env.Exec.vm 0 = Vm.Kernel && !total < 100_000 do
+    ignore (Vm.run_tblock env.Exec.vm env.Exec.tcode ~tid:0 ~quantum:7 sink);
+    checkb "quantum bounds the block" true (sink.Vm.sk_steps <= 7);
+    total := !total + sink.Vm.sk_steps
+  done;
+  checki "same instruction count either way" !steps !total
+
+(* ---------------- block-batched concurrent execution ---------------- *)
+
+(* Run the same seeded snowboard trial twice on the same env: once
+   batched (the policy's [event_only] declaration intact), once with it
+   forced off (per-step loop).  Everything observable — the result
+   record, the recorded decision trace and the flight-recorder stream —
+   must be byte-identical. *)
+let conc_batch_run env ~(s : Harness.Scenarios.scenario) ~hint ~seed ~batch =
+  let rng = Random.State.make [| seed |] in
+  let st = Policies.snowboard_state hint in
+  let inner = Policies.snowboard rng st in
+  let inner = { inner with Exec.event_only = inner.Exec.event_only && batch } in
+  let rec_ = Replay.record inner in
+  Obs.Event.reset ();
+  let res =
+    Exec.run_conc env ~writer:s.Harness.Scenarios.writer
+      ~reader:s.Harness.Scenarios.reader ~policy:rec_.Replay.policy ()
+  in
+  (* [Vm.steps] accumulates across trials on the same VM, so absolute
+     virtual clocks carry a per-trial baseline; rebase on the trial's
+     first event to compare the streams themselves *)
+  let evs =
+    match Obs.Event.events () with
+    | [] -> []
+    | e0 :: _ as evs ->
+        List.map
+          (fun (e : Obs.Event.t) ->
+            { e with Obs.Event.vclock = e.Obs.Event.vclock - e0.Obs.Event.vclock })
+          evs
+  in
+  let seen = Obs.Event.seen () in
+  (res, Replay.to_string (rec_.Replay.finish ()), evs, seen)
+
+let test_conc_batch_identical () =
+  let env = Lazy.force env in
+  Obs.Event.configure ~capacity:4096 ~deterministic:true ~enabled:true ();
+  let scenarios =
+    [ List.nth Harness.Scenarios.all 11 (* #12 l2tp *);
+      List.nth Harness.Scenarios.all 0 (* #1 rhashtable *) ]
+  in
+  List.iter
+    (fun s ->
+      for seed = 1 to 3 do
+        let r_b, t_b, e_b, n_b = conc_batch_run env ~s ~hint:None ~seed ~batch:true in
+        let r_p, t_p, e_p, n_p =
+          conc_batch_run env ~s ~hint:None ~seed ~batch:false
+        in
+        checkb "batched result = per-step result" true (r_b = r_p);
+        Alcotest.(check string) "batched trace = per-step trace" t_p t_b;
+        checkb "batched flight record = per-step flight record" true (e_b = e_p);
+        checki "same events seen" n_p n_b
+      done)
+    scenarios;
+  Obs.Event.configure ~enabled:false ()
+
+let test_conc_batch_identical_hinted () =
+  (* same, under a PMC hint: the hint-window machinery (flags, windows,
+     hit/miss classification) runs at events only, so batching must not
+     perturb it either *)
+  let env = Lazy.force env in
+  let s = List.nth Harness.Scenarios.all 0 (* #1 rhashtable *) in
+  let _, hints = Harness.Scenarios.identify env s in
+  checkb "scenario yields hints" true (hints <> []);
+  let hint = Some (List.hd hints) in
+  Obs.Event.configure ~capacity:4096 ~deterministic:true ~enabled:true ();
+  for seed = 1 to 3 do
+    let r_b, t_b, e_b, n_b = conc_batch_run env ~s ~hint ~seed ~batch:true in
+    let r_p, t_p, e_p, n_p = conc_batch_run env ~s ~hint ~seed ~batch:false in
+    checkb "hinted: batched result = per-step result" true (r_b = r_p);
+    Alcotest.(check string) "hinted: batched trace = per-step trace" t_p t_b;
+    checkb "hinted: same flight record" true (e_b = e_p);
+    checki "hinted: same events seen" n_p n_b
+  done;
+  Obs.Event.configure ~enabled:false ()
+
+(* A trace recorded under batching replays on the per-step loop (and
+   vice versa): the '0's [on_plain] appends stand in exactly for the
+   skipped consultations. *)
+let test_conc_batch_trace_replays () =
+  let env = Lazy.force env in
+  let s = List.nth Harness.Scenarios.all 11 (* #12 l2tp *) in
+  let r_b, t_b, _, _ = conc_batch_run env ~s ~hint:None ~seed:5 ~batch:true in
+  match Replay.of_string t_b with
+  | None -> Alcotest.fail "recorded trace does not parse"
+  | Some trace ->
+      let r_r =
+        Exec.run_conc env ~writer:s.Harness.Scenarios.writer
+          ~reader:s.Harness.Scenarios.reader ~policy:(Replay.replay trace) ()
+      in
+      checkb "batch-recorded trace replays per-step" true (r_b = r_r)
+
+(* ---------------- edge cache generation wrap ------------------------ *)
+
+let test_edge_cache_generation_wrap () =
+  (* the 15-bit generation tag wraps after 0x7fff resets; the wrap clears
+     the cache outright, so a pre-wrap entry can never validate against a
+     post-wrap generation and swallow a fresh edge *)
+  let vm = tiny_vm () in
+  Vm.reset_coverage vm;
+  Vm.record_edge_fast vm 3 4;
+  for _ = 1 to 0x8000 do
+    Vm.reset_coverage vm
+  done;
+  checki "wrap leaves coverage empty" 0 (Vm.coverage_size vm);
+  Vm.record_edge_fast vm 3 4;
+  checki "edge re-recorded across the wrap" 1 (Vm.coverage_size vm);
+  checkb "and extractable" true (Vm.coverage_edges vm = [ (3, 4) ])
+
+(* ---------------- throughput gauge guard ---------------------------- *)
+
+let test_note_throughput_guard () =
+  let g = Obs.Metrics.gauge ~unit_:"instr/s" "snowboard.sched/steps_per_sec" in
+  Obs.Metrics.set g 0;
+  Exec.note_throughput ~steps:1000 ~seconds:0.;
+  checki "zero elapsed leaves the gauge alone" 0 (Obs.Metrics.gauge_value g);
+  Exec.note_throughput ~steps:1000 ~seconds:(-1.);
+  checki "negative elapsed leaves the gauge alone" 0 (Obs.Metrics.gauge_value g);
+  Exec.note_throughput ~steps:0 ~seconds:1.;
+  checki "zero steps leaves the gauge alone" 0 (Obs.Metrics.gauge_value g);
+  Exec.note_throughput ~steps:max_int ~seconds:1e-300;
+  checkb "tiny elapsed still yields a representable rate" true
+    (Obs.Metrics.gauge_value g >= 0);
+  Exec.note_throughput ~steps:1_000_000 ~seconds:0.5;
+  checki "a sane rate is recorded" 2_000_000 (Obs.Metrics.gauge_value g)
+
 let qtests =
   List.map QCheck_alcotest.to_alcotest
     [ prop_sink_block_equivalent; prop_shared_profile_equivalent ]
@@ -252,6 +435,19 @@ let tests =
       test_edges_sorted_and_mixed;
     Alcotest.test_case "sink capacity" `Quick test_sink_access_capacity;
     Alcotest.test_case "events sunk counter" `Quick test_events_sunk_counter;
+    Alcotest.test_case "threaded decode + cache" `Quick test_threaded_decode;
+    Alcotest.test_case "stale threaded code" `Quick test_stale_tcode_rejected;
+    Alcotest.test_case "threaded quantum" `Quick test_threaded_quantum;
+    Alcotest.test_case "conc batching byte-identical" `Quick
+      test_conc_batch_identical;
+    Alcotest.test_case "conc batching byte-identical (hinted)" `Quick
+      test_conc_batch_identical_hinted;
+    Alcotest.test_case "batch-recorded trace replays" `Quick
+      test_conc_batch_trace_replays;
+    Alcotest.test_case "edge cache generation wrap" `Quick
+      test_edge_cache_generation_wrap;
+    Alcotest.test_case "throughput gauge guard" `Quick
+      test_note_throughput_guard;
   ]
 
 let () = Alcotest.run "exec" [ ("sink+block", qtests @ tests) ]

@@ -137,7 +137,16 @@ let test_postmortem () =
 
 let test_run_multi_three () =
   let e = Lazy.force env in
-  let policy = { Exec.first = 0; decide = (fun _ _ -> true) } in
+  (* switches after *every* instruction, including event-free ones, so
+     it must keep the per-instruction loop *)
+  let policy =
+    {
+      Exec.first = 0;
+      decide = (fun _ _ -> true);
+      event_only = false;
+      on_plain = ignore;
+    }
+  in
   let progs =
     [|
       [ { P.nr = Abi.sys_msgget; args = [ P.Const 1 ] } ];
@@ -155,7 +164,14 @@ let test_run_multi_three () =
 
 let test_run_multi_bounds () =
   let e = Lazy.force env in
-  let policy = { Exec.first = 0; decide = (fun _ _ -> false) } in
+  let policy =
+    {
+      Exec.first = 0;
+      decide = (fun _ _ -> false);
+      event_only = true;
+      on_plain = ignore;
+    }
+  in
   Alcotest.check_raises "too many threads"
     (Invalid_argument "exec: unsupported thread count") (fun () ->
       ignore

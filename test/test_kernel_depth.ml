@@ -293,7 +293,13 @@ let test_configfs_crash_only_with_item_window () =
     Exec.run_conc e
       ~writer:[ c Abi.sys_open [ k Abi.path_configfs; k Abi.o_remove ] ]
       ~reader:[ c Abi.sys_open [ k Abi.path_configfs; k 0 ] ]
-      ~policy:{ Exec.first = 0; decide = (fun _ _ -> false) }
+      ~policy:
+        {
+          Exec.first = 0;
+          decide = (fun _ _ -> false);
+          event_only = true;
+          on_plain = ignore;
+        }
       ()
   in
   checkb "serial order: no crash" false res.Exec.cc_panicked;

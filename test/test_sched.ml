@@ -27,9 +27,22 @@ let sink_of_access a =
   Vmm.Vm.sink_push_access s a;
   s
 
-let always_switch : Exec.policy = { Exec.first = 0; decide = (fun _ _ -> true) }
+(* returns true even on event-free sinks: not batchable *)
+let always_switch : Exec.policy =
+  {
+    Exec.first = 0;
+    decide = (fun _ _ -> true);
+    event_only = false;
+    on_plain = ignore;
+  }
 
-let never_switch : Exec.policy = { Exec.first = 0; decide = (fun _ _ -> false) }
+let never_switch : Exec.policy =
+  {
+    Exec.first = 0;
+    decide = (fun _ _ -> false);
+    event_only = true;
+    on_plain = ignore;
+  }
 
 let test_conc_completes_both () =
   let e = Lazy.force env in
